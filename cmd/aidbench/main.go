@@ -1,0 +1,127 @@
+// aidbench regenerates the paper's evaluation tables and figures on the
+// modeled platforms.
+//
+// Usage:
+//
+//	aidbench -exp fig6              # Fig 6: 21 apps x 7 schemes, Platform A
+//	aidbench -exp fig7              # Fig 7: same on Platform B
+//	aidbench -exp table2            # Table 2: AID gains (runs fig6 + fig7)
+//	aidbench -exp fig8              # Fig 8: chunk sensitivity sweep
+//	aidbench -exp fig9              # Fig 9a/9b: offline-SF comparison
+//	aidbench -exp fig9c             # Fig 9c: blackscholes SF series
+//	aidbench -exp guided            # guided vs static/dynamic summary
+//	aidbench -exp hybridpct         # AID-hybrid percentage sweep
+//	aidbench -exp all               # everything above, in order
+//
+// Add -csv to emit comma-separated values for fig6/fig7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/amp"
+	"repro/internal/exps"
+	"repro/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig6|fig7|table2|fig8|fig9|fig9c|guided|hybridpct|all")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table (fig6/fig7)")
+	flag.Parse()
+
+	if err := run(*exp, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "aidbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, csv bool) error {
+	switch exp {
+	case "fig6":
+		return fig(amp.PlatformA(), csv)
+	case "fig7":
+		return fig(amp.PlatformB(), csv)
+	case "table2":
+		return table2()
+	case "fig8":
+		f, err := exps.RunFig8()
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+		return nil
+	case "fig9":
+		for _, pl := range []*amp.Platform{amp.PlatformA(), amp.PlatformB()} {
+			f, err := exps.RunFig9(pl)
+			if err != nil {
+				return err
+			}
+			fmt.Print(f.Render())
+			fmt.Println()
+		}
+		return nil
+	case "fig9c":
+		f, err := exps.RunFig9c(100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+		return nil
+	case "guided":
+		for _, pl := range []*amp.Platform{amp.PlatformA(), amp.PlatformB()} {
+			g, err := exps.RunGuided(pl)
+			if err != nil {
+				return err
+			}
+			fmt.Print(g.Render())
+			fmt.Println()
+		}
+		return nil
+	case "hybridpct":
+		h, err := exps.RunHybridPct(amp.PlatformA(), workloads.All())
+		if err != nil {
+			return err
+		}
+		fmt.Print(h.Render())
+		return nil
+	case "all":
+		for _, e := range []string{"fig6", "fig7", "table2", "fig8", "fig9", "fig9c", "guided", "hybridpct"} {
+			fmt.Printf("==== %s ====\n", e)
+			if err := run(e, csv); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func fig(pl *amp.Platform, csv bool) error {
+	f, err := exps.RunFig6(pl)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(f.CSV())
+	} else {
+		fmt.Print(f.Render())
+	}
+	return nil
+}
+
+func table2() error {
+	fa, err := exps.RunFig6(amp.PlatformA())
+	if err != nil {
+		return err
+	}
+	fb, err := exps.RunFig6(amp.PlatformB())
+	if err != nil {
+		return err
+	}
+	fmt.Print(exps.RunTable2(fa, fb).Render())
+	return nil
+}

@@ -1,0 +1,42 @@
+// aidcal is a calibration helper: prints per-loop offline/online SF and
+// effective per-app gains to guide model tuning.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/amp"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	plA := amp.PlatformA()
+	for _, w := range workloads.All() {
+		loops := w.Program.Loops()
+		minOff, maxOff, minOn, maxOn := 1e9, 0.0, 1e9, 0.0
+		for _, l := range loops {
+			off, err := sim.MeasureLoopSF(plA, l)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			on := plA.SF(l.Profile, 4, 4)
+			if off < minOff {
+				minOff = off
+			}
+			if off > maxOff {
+				maxOff = off
+			}
+			if on < minOn {
+				minOn = on
+			}
+			if on > maxOn {
+				maxOn = on
+			}
+		}
+		fmt.Printf("%-16s loops=%2d  offlineSF[%5.2f %5.2f]  onlineSF[%5.2f %5.2f]\n",
+			w.Name, len(loops), minOff, maxOff, minOn, maxOn)
+	}
+}

@@ -1,0 +1,114 @@
+// aidtrace renders Paraver-style execution traces for the paper's trace
+// figures and for arbitrary workload/schedule combinations.
+//
+// Usage:
+//
+//	aidtrace -fig 1                 # Fig 1: EP, static, 2B-2S vs 4S
+//	aidtrace -fig 4                 # Fig 4: EP, AID-static vs AID-hybrid(80%)
+//	aidtrace -app EP -sched aid-dynamic,1,5 -binding BS
+//
+// In the free-form mode, -app names any workload (its first parallel loop
+// is traced), -sched uses the GOOMP_SCHEDULE syntax and -binding is SB/BS.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/amp"
+	"repro/internal/exps"
+	"repro/internal/rt"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	figNo := flag.Int("fig", 0, "render a paper figure: 1 or 4")
+	app := flag.String("app", "", "workload name for free-form tracing (e.g. EP)")
+	schedText := flag.String("sched", "aid-static", "schedule in GOOMP_SCHEDULE syntax")
+	bindingText := flag.String("binding", "BS", "thread binding: SB or BS")
+	platform := flag.String("platform", "A", "platform: A or B")
+	flag.Parse()
+
+	if err := run(*figNo, *app, *schedText, *bindingText, *platform); err != nil {
+		fmt.Fprintln(os.Stderr, "aidtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figNo int, app, schedText, bindingText, platform string) error {
+	switch figNo {
+	case 1:
+		a, b, err := exps.RunFig1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(a.Render())
+		fmt.Println(b.Render())
+		return nil
+	case 4:
+		a, b, err := exps.RunFig4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(a.Render())
+		fmt.Println(b.Render())
+		return nil
+	case 0:
+		// free-form below
+	default:
+		return fmt.Errorf("unknown figure %d (supported: 1, 4)", figNo)
+	}
+	if app == "" {
+		return fmt.Errorf("need -fig 1, -fig 4, or -app <workload>")
+	}
+	w, ok := workloads.ByName(app)
+	if !ok {
+		var names []string
+		for _, x := range workloads.All() {
+			names = append(names, x.Name)
+		}
+		return fmt.Errorf("unknown workload %q; available: %s", app, strings.Join(names, ", "))
+	}
+	sched, err := rt.ParseSchedule(schedText)
+	if err != nil {
+		return err
+	}
+	var binding amp.Binding
+	switch strings.ToUpper(bindingText) {
+	case "SB":
+		binding = amp.BindSB
+	case "BS":
+		binding = amp.BindBS
+	default:
+		return fmt.Errorf("binding must be SB or BS, got %q", bindingText)
+	}
+	pl := amp.PlatformA()
+	if strings.EqualFold(platform, "B") {
+		pl = amp.PlatformB()
+	}
+	loops := w.Program.Loops()
+	if len(loops) == 0 {
+		return fmt.Errorf("workload %s has no parallel loops", app)
+	}
+	spec := loops[0]
+	tr := trace.New(pl.NumCores())
+	cfg := sim.Config{
+		Platform: pl,
+		NThreads: pl.NumCores(),
+		Binding:  binding,
+		Factory:  sched.Factory(),
+		Trace:    tr,
+	}
+	res, err := sim.RunLoop(cfg, spec, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s / loop %q / %s / %s binding / Platform %s (completion: %d ns)\n",
+		w.Name, spec.Name, sched, binding, pl.Name, res.End-res.Start)
+	fmt.Print(tr.Render(88))
+	return nil
+}

@@ -1,0 +1,466 @@
+// Package amp models single-ISA asymmetric multicore processors (AMPs): core
+// types with different frequency, microarchitecture (in-order vs
+// out-of-order IPC), duty cycle, and per-cluster last-level caches with a
+// contention model.
+//
+// The package reproduces the two evaluation platforms from the paper (§5):
+//
+//   - Platform A: the Odroid-XU4 board — an ARM big.LITTLE with four
+//     out-of-order Cortex-A15 cores at 2.0 GHz sharing a 2 MB LLC and four
+//     in-order Cortex-A7 cores at 1.5 GHz sharing a 512 KB LLC.
+//   - Platform B: an emulated AMP built from an Intel Xeon E5-2620 v4 —
+//     four "fast" cores at 2.1 GHz and four "slow" cores throttled to the
+//     1.2 GHz P-state at 87.5% duty cycle, all sharing a 20 MB LLC.
+//
+// The central quantity in the paper is the speedup factor (SF): the ratio of
+// completion times of the same code on a small vs a big core. SF is loop
+// specific (Fig. 2) because it depends on the loop's instruction mix. Here
+// the mix is described by a Profile, and SF *emerges* from the speed model —
+// the runtime system never reads it and must estimate it online, exactly as
+// libgomp must on real hardware.
+package amp
+
+import "fmt"
+
+// Profile characterizes the instruction mix of a piece of code (one parallel
+// loop, or a serial phase). It determines the per-core-type execution speed
+// and therefore the loop's big-to-small speedup factor.
+type Profile struct {
+	// ILP in [0,1] is the fraction of exploitable instruction-level
+	// parallelism. Out-of-order big cores convert high ILP into high IPC;
+	// in-order small cores mostly cannot.
+	ILP float64
+	// MemIntensity in [0,1] is the fraction of execution that is bound on
+	// the memory hierarchy rather than the pipeline. Memory-bound code sees
+	// small big-to-small speedups (DRAM is symmetric).
+	MemIntensity float64
+	// FootprintMB is the per-thread working-set size. When the sum of
+	// active footprints exceeds a cluster's LLC, extra misses push the
+	// effective memory intensity up (the blackscholes effect of §5C).
+	FootprintMB float64
+}
+
+// Validate reports whether the profile fields are inside their domains.
+func (p Profile) Validate() error {
+	if p.ILP < 0 || p.ILP > 1 {
+		return fmt.Errorf("amp: ILP %v out of [0,1]", p.ILP)
+	}
+	if p.MemIntensity < 0 || p.MemIntensity > 1 {
+		return fmt.Errorf("amp: MemIntensity %v out of [0,1]", p.MemIntensity)
+	}
+	if p.FootprintMB < 0 {
+		return fmt.Errorf("amp: negative FootprintMB %v", p.FootprintMB)
+	}
+	return nil
+}
+
+// CoreType describes one kind of core on the platform.
+type CoreType struct {
+	Name string
+	// FreqGHz is the nominal clock frequency.
+	FreqGHz float64
+	// DutyCycle in (0,1] scales effective frequency (Platform B throttles
+	// slow cores to 87.5% duty in addition to the frequency reduction).
+	DutyCycle float64
+	// IPCScalar is instructions/cycle for serial-dependent (ILP=0) code.
+	IPCScalar float64
+	// IPCMax is instructions/cycle for fully parallel (ILP=1) code; the gap
+	// to IPCScalar captures the out-of-order window advantage.
+	IPCMax float64
+	// MemGBps is the effective units/ns throughput for fully memory-bound
+	// code on an otherwise idle cluster (covers prefetching quality and the
+	// frequency-scaled cache hierarchy).
+	MemGBps float64
+}
+
+// IPC returns instructions per cycle for code with the given ILP. The
+// response is cubic: the out-of-order window pays off superlinearly, so only
+// code with pervasive exploitable ILP approaches IPCMax. This concentrates
+// large big-core advantages in a minority of loops, matching Fig. 2's
+// distribution (most loops cluster at modest SFs; a few reach 7-8x).
+func (ct CoreType) IPC(ilp float64) float64 {
+	x := ilp * ilp * ilp
+	return ct.IPCScalar + (ct.IPCMax-ct.IPCScalar)*x
+}
+
+// ComputeSpeed returns work units per nanosecond for pure compute code.
+func (ct CoreType) ComputeSpeed(ilp float64) float64 {
+	return ct.FreqGHz * ct.DutyCycle * ct.IPC(ilp)
+}
+
+// Cluster is a set of identical cores sharing a last-level cache.
+type Cluster struct {
+	Type CoreType
+	// NumCores in this cluster.
+	NumCores int
+	// LLCMB is the shared last-level cache size.
+	LLCMB float64
+	// MissSlope controls how quickly LLC over-subscription converts compute
+	// time into memory time: extraMiss = clamp(MissSlope*(occupancy-1)).
+	MissSlope float64
+	// SatGBps models DRAM-bandwidth saturation: with k active threads in
+	// the cluster, per-thread memory throughput is capped at SatGBps/k.
+	// Crucially the cap is a property of the DRAM, not of the core type, so
+	// at saturation big and small cores see the *same* memory speed — the
+	// equalizer that compresses effective loop SFs at 8 threads far below
+	// their offline (single-thread) values. This is the second contention
+	// mechanism behind §5C: offline-collected SF values overestimate the
+	// big-core advantage because single-thread runs never saturate DRAM.
+	SatGBps float64
+}
+
+// Overheads are the runtime-system cost constants used by the simulator.
+// They model libgomp's costs on each platform: the price of one atomic
+// iteration-pool access (a fetch-and-add plus the surrounding call), the
+// additional cost when several threads contend on the same cache line, the
+// data-locality penalty paid at every chunk boundary under dynamic
+// scheduling (§2: "the non-predictive behavior of this approach tends to
+// degrade data locality"), the fork/join cost per parallel loop, and the
+// cost of reading a timestamp (cheap on Linux thanks to the vsyscall, §4.2).
+type Overheads struct {
+	PoolAccessNs      float64 // one GOMP_loop_*_next style pool access
+	ContentionNs      float64 // extra per concurrent accessor on the pool line
+	LocalityPenaltyNs float64 // per chunk boundary, charged on the executing core
+	ForkJoinNs        float64 // per parallel loop (fork + implicit barrier)
+	TimestampNs       float64 // one clock read during sampling
+}
+
+// Platform is a complete AMP: an ordered list of clusters (big first by
+// convention, matching the paper's CPU numbering where CPUs 4-7 are big)
+// plus the runtime overhead constants calibrated for the machine.
+type Platform struct {
+	Name     string
+	Clusters []Cluster
+	Overhead Overheads
+
+	cores []coreInfo // flattened topology
+}
+
+type coreInfo struct {
+	cluster int
+	big     bool
+}
+
+// Binding is the thread-to-core mapping convention of §5: under SB, cores
+// are populated in ascending order by thread ID (threads 0..3 land on small
+// cores); under BS, in descending order (big cores are reserved for threads
+// 0..3). All AID variants assume BS (§4.3).
+type Binding int
+
+const (
+	// BindBS assigns thread 0 to the highest-numbered CPU (a big core). It
+	// is the zero value because every AID variant assumes it (§4.3).
+	BindBS Binding = iota
+	// BindSB assigns thread 0 to CPU 0 (a small core).
+	BindSB
+)
+
+// String implements fmt.Stringer.
+func (b Binding) String() string {
+	if b == BindBS {
+		return "BS"
+	}
+	return "SB"
+}
+
+// New assembles a platform from clusters and overheads. Clusters must be
+// ordered big-to-small (cluster 0 = big), mirroring the paper's convention
+// that CPUs with higher numbers are big cores: the flattened CPU numbering
+// puts small-cluster cores first, so CPU IDs 0..NS-1 are small and
+// NS..NS+NB-1 are big, as on the Odroid.
+func New(name string, clusters []Cluster, ov Overheads) (*Platform, error) {
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("amp: platform %q has no clusters", name)
+	}
+	p := &Platform{Name: name, Clusters: clusters, Overhead: ov}
+	// Flatten: small clusters occupy low CPU numbers. We treat cluster 0 as
+	// the big cluster and later clusters as progressively smaller, so we
+	// emit cores in reverse cluster order.
+	for ci := len(clusters) - 1; ci >= 0; ci-- {
+		c := clusters[ci]
+		if c.NumCores <= 0 {
+			return nil, fmt.Errorf("amp: cluster %d of %q has %d cores", ci, name, c.NumCores)
+		}
+		for i := 0; i < c.NumCores; i++ {
+			p.cores = append(p.cores, coreInfo{cluster: ci, big: ci == 0})
+		}
+	}
+	return p, nil
+}
+
+// NumCores returns the total core count.
+func (p *Platform) NumCores() int { return len(p.cores) }
+
+// NumBig returns the number of cores in the big cluster (cluster 0).
+func (p *Platform) NumBig() int { return p.Clusters[0].NumCores }
+
+// NumSmall returns the number of cores outside the big cluster.
+func (p *Platform) NumSmall() int { return p.NumCores() - p.NumBig() }
+
+// IsBig reports whether CPU id belongs to the big cluster.
+func (p *Platform) IsBig(cpu int) bool { return p.cores[cpu].big }
+
+// ClusterOf returns the cluster index of CPU id.
+func (p *Platform) ClusterOf(cpu int) int { return p.cores[cpu].cluster }
+
+// CoreOf maps a thread ID to a CPU under the given binding convention with
+// nthreads total threads. It panics if tid or nthreads is out of range,
+// since a bad mapping is a programming error in the runtime.
+func (p *Platform) CoreOf(tid, nthreads int, b Binding) int {
+	if nthreads <= 0 || nthreads > p.NumCores() {
+		panic(fmt.Sprintf("amp: nthreads %d out of range (platform has %d cores)", nthreads, p.NumCores()))
+	}
+	if tid < 0 || tid >= nthreads {
+		panic(fmt.Sprintf("amp: tid %d out of range [0,%d)", tid, nthreads))
+	}
+	if b == BindSB {
+		return tid // ascending: thread 0 -> CPU 0 (small)
+	}
+	return p.NumCores() - 1 - tid // descending: thread 0 -> highest CPU (big)
+}
+
+// BigThreads returns how many of nthreads land on big cores under binding b.
+func (p *Platform) BigThreads(nthreads int, b Binding) int {
+	n := 0
+	for tid := 0; tid < nthreads; tid++ {
+		if p.IsBig(p.CoreOf(tid, nthreads, b)) {
+			n++
+		}
+	}
+	return n
+}
+
+// effectiveMem returns the profile's memory intensity after accounting for
+// LLC over-subscription in the cluster: activeInCluster threads each with
+// p.FootprintMB of working set compete for the cluster's LLC; occupancy
+// beyond 1.0 converts part of the remaining compute time into memory time.
+func (p *Platform) effectiveMem(prof Profile, cluster, activeInCluster int) float64 {
+	c := p.Clusters[cluster]
+	m := prof.MemIntensity
+	if prof.FootprintMB <= 0 || c.LLCMB <= 0 || activeInCluster <= 0 {
+		return m
+	}
+	occ := float64(activeInCluster) * prof.FootprintMB / c.LLCMB
+	if occ <= 1 {
+		return m
+	}
+	extra := c.MissSlope * (occ - 1)
+	if extra > 0.9 {
+		extra = 0.9
+	}
+	return m + (1-m)*extra
+}
+
+// Speed returns execution speed in work units per nanosecond for CPU `cpu`
+// running code with profile prof while activeInCluster threads (including
+// this one) are running in the same cluster. The model composes a compute
+// term and a memory term in series:
+//
+//	t(unit) = (1-m)/computeSpeed + m/memSpeed
+//
+// where m is the LLC-contention-adjusted memory intensity.
+func (p *Platform) Speed(cpu int, prof Profile, activeInCluster int) float64 {
+	ci := p.cores[cpu].cluster
+	c := p.Clusters[ci]
+	m := p.effectiveMem(prof, ci, activeInCluster)
+	cs := c.Type.ComputeSpeed(prof.ILP)
+	ms := c.Type.MemGBps
+	if c.SatGBps > 0 && activeInCluster > 0 {
+		if cap := c.SatGBps / float64(activeInCluster); cap < ms {
+			ms = cap
+		}
+	}
+	t := (1-m)/cs + m/ms
+	return 1 / t
+}
+
+// SF returns the emergent big-to-small speedup factor for code with profile
+// prof when activeBig and activeSmall threads run on each cluster. This is
+// the quantity Fig. 2 measures offline; the runtime estimates it online.
+// For platforms with more than two clusters, the ratio is taken between
+// cluster 0 and the last cluster.
+func (p *Platform) SF(prof Profile, activeBig, activeSmall int) float64 {
+	bigCPU := p.NumCores() - 1 // highest CPU is big
+	smallCPU := 0              // lowest CPU is in the smallest cluster
+	return p.Speed(bigCPU, prof, activeBig) / p.Speed(smallCPU, prof, activeSmall)
+}
+
+// OfflineSF reproduces the paper's offline SF measurement method (§2): run
+// the code with a single thread on a big core, then on a small core, and
+// take the completion-time ratio. Single-threaded runs see no LLC
+// contention, which is precisely why offline SF misleads for
+// cache-contended programs (§5C, Fig. 9c).
+func (p *Platform) OfflineSF(prof Profile) float64 {
+	return p.SF(prof, 1, 1)
+}
+
+// PlatformA returns the Odroid-XU4 model (Table 1). Calibration targets the
+// published behaviour rather than microarchitectural truth: big-to-small SF
+// ranges from ~1.2 for fully memory-bound loops to ~8.9 for high-ILP compute
+// loops, matching the ranges reported in §2 and §5 (up to 7.7 in Fig. 2,
+// 8.9 max across all loops).
+func PlatformA() *Platform {
+	big := Cluster{
+		Type: CoreType{
+			Name:      "Cortex-A15",
+			FreqGHz:   2.0,
+			DutyCycle: 1.0,
+			IPCScalar: 1.0,
+			IPCMax:    3.3, // wide OoO: high ILP pays off
+			MemGBps:   1.6,
+		},
+		NumCores: 4,
+		LLCMB:    2.0,
+		// The out-of-order core is hit harder by LLC overflow: its wide
+		// window stalls on misses it cannot hide. Only per-thread working
+		// sets above ~0.5 MB overflow this 2 MB cluster LLC at 4 threads
+		// (blackscholes, streamcluster).
+		MissSlope: 0.75,
+		SatGBps:   1.7,
+	}
+	small := Cluster{
+		Type: CoreType{
+			Name:      "Cortex-A7",
+			FreqGHz:   1.5,
+			DutyCycle: 1.0,
+			IPCScalar: 0.70, // in-order cores keep up on serial-dependent code
+			IPCMax:    0.52, // ...but gain nothing from exploitable ILP
+			MemGBps:   1.45,
+		},
+		NumCores:  4,
+		LLCMB:     0.5,
+		MissSlope: 0.45,
+		SatGBps:   1.7,
+	}
+	ov := Overheads{
+		// ARM atomics and the shared pool line are comparatively expensive;
+		// these values make dynamic(1) overhead visible for short loops
+		// (IS slows down ~1.9x, §5A) while staying negligible for long ones.
+		PoolAccessNs:      120,
+		ContentionNs:      45,
+		LocalityPenaltyNs: 160,
+		ForkJoinNs:        9000,
+		TimestampNs:       30,
+	}
+	p, err := New("A (Odroid-XU4 big.LITTLE)", []Cluster{big, small}, ov)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return p
+}
+
+// PlatformB returns the emulated x86 AMP model (§5): four fast cores at
+// 2.1 GHz and four slow ones at 1.2 GHz x 87.5% duty cycle, sharing one
+// 20 MB LLC. Both core types have the same microarchitecture, so the SF
+// range is narrow: ~1.7 (memory-bound; DRAM and LLC are shared and the duty
+// mechanism still gates the load/store units) to ~2.3 (compute-bound),
+// matching Fig. 2b/2d.
+func PlatformB() *Platform {
+	fast := Cluster{
+		Type: CoreType{
+			Name:      "Xeon-fast",
+			FreqGHz:   2.1,
+			DutyCycle: 1.0,
+			IPCScalar: 1.3,
+			IPCMax:    3.8,
+			MemGBps:   4.6,
+		},
+		NumCores:  4,
+		LLCMB:     10.0, // half of the shared 20MB LLC attributed per group
+		MissSlope: 0.18,
+		SatGBps:   8.0,
+	}
+	slow := Cluster{
+		Type: CoreType{
+			Name:      "Xeon-slow",
+			FreqGHz:   1.2,
+			DutyCycle: 0.875,
+			IPCScalar: 1.25,
+			IPCMax:    3.35,
+			MemGBps:   2.7,
+		},
+		NumCores:  4,
+		LLCMB:     10.0,
+		MissSlope: 0.18,
+		SatGBps:   8.0,
+	}
+	ov := Overheads{
+		// x86 atomics are cheaper in absolute terms, but the relative
+		// benefit of big cores is small (SF <= 2.3), so overhead more
+		// easily negates dynamic's benefit (§5A: CG slows down by up to
+		// 2.86x under dynamic on this platform).
+		PoolAccessNs:      90,
+		ContentionNs:      40,
+		LocalityPenaltyNs: 140,
+		ForkJoinNs:        5200,
+		TimestampNs:       20,
+	}
+	p, err := New("B (Xeon E5-2620 v4 emulated AMP)", []Cluster{fast, slow}, ov)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PlatformTri returns a three-core-type platform in the style of an ARM
+// DynamIQ design (2 prime + 3 middle + 3 little cores). The paper
+// generalizes AID-static to NC core types in §4.2 — "for each core type j,
+// SF_j must be measured ... each thread in core type j would receive SF_j·k
+// iterations, where k = NI / Σ_t N_t·SF_t" — and this platform exercises
+// that path (no two-type shortcut survives contact with it).
+func PlatformTri() *Platform {
+	prime := Cluster{
+		Type: CoreType{
+			Name:      "prime",
+			FreqGHz:   2.8,
+			DutyCycle: 1.0,
+			IPCScalar: 1.15,
+			IPCMax:    3.6,
+			MemGBps:   2.2,
+		},
+		NumCores:  2,
+		LLCMB:     2.0,
+		MissSlope: 0.6,
+		SatGBps:   2.4,
+	}
+	mid := Cluster{
+		Type: CoreType{
+			Name:      "middle",
+			FreqGHz:   2.2,
+			DutyCycle: 1.0,
+			IPCScalar: 0.95,
+			IPCMax:    2.2,
+			MemGBps:   1.8,
+		},
+		NumCores:  3,
+		LLCMB:     1.0,
+		MissSlope: 0.5,
+		SatGBps:   2.2,
+	}
+	little := Cluster{
+		Type: CoreType{
+			Name:      "little",
+			FreqGHz:   1.6,
+			DutyCycle: 1.0,
+			IPCScalar: 0.72,
+			IPCMax:    0.6,
+			MemGBps:   1.5,
+		},
+		NumCores:  3,
+		LLCMB:     0.5,
+		MissSlope: 0.45,
+		SatGBps:   2.0,
+	}
+	ov := Overheads{
+		PoolAccessNs:      110,
+		ContentionNs:      40,
+		LocalityPenaltyNs: 150,
+		ForkJoinNs:        8000,
+		TimestampNs:       25,
+	}
+	p, err := New("Tri (2 prime + 3 middle + 3 little)", []Cluster{prime, mid, little}, ov)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

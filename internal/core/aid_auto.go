@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pool"
+)
+
+// AIDAuto implements the paper's future-work proposal (§6): decide *per
+// loop* whether the AID-static or the AID-dynamic treatment fits, instead of
+// applying one variant to every loop of the program. The paper suggests a
+// compiler-assisted decision ([44]); here the decision is taken online from
+// the same sampling phase the AID methods already run, at no extra cost:
+//
+//   - every thread samples `chunk` iterations, as in Fig. 3;
+//   - the last thread to finish sampling computes, per core type, the mean
+//     per-iteration time (the SF estimate) and, across *all* threads, the
+//     coefficient of variation (CV) of per-iteration times normalized by
+//     their core type's mean. Uniform loops have CV ≈ 0 regardless of the
+//     platform's asymmetry, because normalization removes the core-type
+//     speed difference;
+//   - if CV ≤ Threshold the loop's iterations are treated as equally costly
+//     and the remainder is scheduled like AID-hybrid (one asymmetric
+//     allotment for Pct of the iterations, dynamic tail) — the §5A result
+//     that AID-hybrid is the safest static-family method;
+//   - otherwise the loop is irregular and the remainder is scheduled like
+//     AID-dynamic (uneven R·M/M phases with re-estimation).
+//
+// The wrapped variants reuse this scheduler's pool, so no iteration is lost
+// or duplicated at the handover.
+//
+// Caveat: the classifier only sees NThreads·chunk iterations. Cost
+// variation at a coarser granularity than that window is invisible and the
+// loop is classified uniform; choose the sampling chunk so the window spans
+// several cost regions (the adaptive example uses chunk 16 against
+// 16-iteration cost blocks).
+type AIDAuto struct {
+	info      LoopInfo
+	chunk     int64
+	pct       float64
+	major     int64
+	threshold float64
+
+	ws *pool.WorkShare
+	sc *pool.SampleCounters
+
+	mu        sync.Mutex
+	th        []perThread
+	samples   []float64 // per-thread per-iteration sampling time (scaled)
+	decided   bool
+	irregular bool
+	cv        float64
+
+	// Post-decision state (one of the two is active).
+	sf       []float64
+	k        float64
+	assigned int
+	dyn      *AIDDynamic // initialized lazily for irregular loops
+}
+
+// NewAIDAuto returns an adaptive scheduler. chunk is the sampling chunk, pct
+// the AID-hybrid share used for regular loops, major the AID-dynamic Major
+// chunk used for irregular loops, and threshold the CV above which a loop
+// counts as irregular (0 selects the default of 0.25).
+func NewAIDAuto(info LoopInfo, chunk int64, pct float64, major int64, threshold float64) (*AIDAuto, error) {
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	if chunk <= 0 {
+		return nil, fmt.Errorf("core: AID-auto sampling chunk must be positive, got %d", chunk)
+	}
+	if pct <= 0 || pct > 1 {
+		return nil, fmt.Errorf("core: AID-auto pct %v out of (0,1]", pct)
+	}
+	if major < chunk {
+		return nil, fmt.Errorf("core: AID-auto Major chunk %d must be >= sampling chunk %d", major, chunk)
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("core: negative CV threshold %v", threshold)
+	}
+	if threshold == 0 {
+		threshold = 0.25
+	}
+	return &AIDAuto{
+		info:      info,
+		chunk:     chunk,
+		pct:       pct,
+		major:     major,
+		threshold: threshold,
+		ws:        pool.NewWorkShare(info.NI),
+		sc:        pool.NewSampleCounters(info.NumTypes, info.NThreads),
+		th:        make([]perThread, info.NThreads),
+		samples:   make([]float64, info.NThreads),
+	}, nil
+}
+
+// Name implements Scheduler.
+func (a *AIDAuto) Name() string { return "aid-auto" }
+
+// Decision reports the variant chosen for this loop and the measured
+// coefficient of variation; ok is false before sampling completes.
+func (a *AIDAuto) Decision() (irregular bool, cv float64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.irregular, a.cv, a.decided
+}
+
+func (a *AIDAuto) steal(st *perThread, n int64, asg *Assign) (Assign, bool) {
+	asg.PoolAccesses++
+	lo, hi, ok := a.ws.TrySteal(n)
+	if !ok {
+		st.lastN = 0
+		return *asg, false
+	}
+	st.delta += hi - lo
+	st.lastN = hi - lo
+	asg.Lo, asg.Hi = lo, hi
+	return *asg, true
+}
+
+// decide computes the SF table and the cross-thread CV of type-normalized
+// per-iteration times, then locks in the variant.
+func (a *AIDAuto) decide() {
+	// Per-type means (the SF estimate, identical to AID-static's).
+	a.sf = make([]float64, a.info.NumTypes)
+	slowest := 0.0
+	typeAvg := make([]float64, a.info.NumTypes)
+	for t := 0; t < a.info.NumTypes; t++ {
+		if avg, ok := a.sc.Avg(t); ok {
+			typeAvg[t] = avg
+			if avg > slowest {
+				slowest = avg
+			}
+		}
+	}
+	for t := 0; t < a.info.NumTypes; t++ {
+		if typeAvg[t] > 0 && slowest > 0 {
+			a.sf[t] = slowest / typeAvg[t]
+		} else {
+			a.sf[t] = 1
+		}
+	}
+	// Cross-thread CV of normalized samples.
+	var n, sum, sumSq float64
+	for tid, s := range a.samples {
+		t := a.info.TypeOf(tid)
+		if s <= 0 || typeAvg[t] <= 0 {
+			continue
+		}
+		norm := s / typeAvg[t]
+		n++
+		sum += norm
+		sumSq += norm * norm
+	}
+	if n > 1 && sum > 0 {
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		a.cv = sqrt(variance) / mean
+	}
+	a.irregular = a.cv > a.threshold
+	a.decided = true
+	if a.irregular {
+		// Hand the remaining pool to an AID-dynamic instance seeded with
+		// the estimated R, skipping its own sampling phase.
+		a.dyn = newAIDDynamicAdopting(a.info, a.chunk, a.major, a.ws, a.sf)
+		return
+	}
+	denom := 0.0
+	for t, cnt := range a.info.typeCounts() {
+		denom += float64(cnt) * a.sf[t]
+	}
+	if denom > 0 {
+		a.k = a.pct * float64(a.info.NI) / denom
+	}
+}
+
+// finalAssign mirrors AIDHybrid's single asymmetric allotment.
+func (a *AIDAuto) finalAssign(tid int, st *perThread, asg *Assign) (Assign, bool) {
+	a.assigned++
+	st.state = stDrain
+	want := int64(a.sf[a.info.TypeOf(tid)]*a.k+0.5) - st.delta
+	if want <= 0 {
+		return a.steal(st, a.chunk, asg)
+	}
+	return a.steal(st, want, asg)
+}
+
+// Next implements Scheduler.
+func (a *AIDAuto) Next(tid int, nowNs int64) (Assign, bool) {
+	a.mu.Lock()
+	st := &a.th[tid]
+	asg := &Assign{}
+	switch st.state {
+	case stNew:
+		st.lastTS = nowNs
+		asg.Timestamps++
+		st.state = stSampling
+		r, ok := a.steal(st, a.chunk, asg)
+		a.mu.Unlock()
+		return r, ok
+
+	case stSampling:
+		asg.Timestamps++
+		elapsed := nowNs - st.lastTS
+		st.lastTS = nowNs
+		last := false
+		if st.lastN > 0 {
+			perIter := elapsed * 1024 / st.lastN
+			a.samples[tid] = float64(perIter)
+			last = a.sc.Record(a.info.TypeOf(tid), perIter)
+		}
+		if last {
+			a.decide()
+			if a.irregular {
+				st.state = stDrain // bookkeeping only; dyn takes over
+				dyn := a.dyn
+				a.mu.Unlock()
+				return dyn.Next(tid, nowNs)
+			}
+			r, ok := a.finalAssign(tid, st, asg)
+			a.mu.Unlock()
+			return r, ok
+		}
+		st.state = stSamplingWait
+		r, ok := a.steal(st, a.chunk, asg)
+		a.mu.Unlock()
+		return r, ok
+
+	case stSamplingWait:
+		if a.decided {
+			if a.irregular {
+				dyn := a.dyn
+				a.mu.Unlock()
+				return dyn.Next(tid, nowNs)
+			}
+			r, ok := a.finalAssign(tid, st, asg)
+			a.mu.Unlock()
+			return r, ok
+		}
+		r, ok := a.steal(st, a.chunk, asg)
+		a.mu.Unlock()
+		return r, ok
+
+	case stDrain:
+		if a.irregular {
+			dyn := a.dyn
+			a.mu.Unlock()
+			return dyn.Next(tid, nowNs)
+		}
+		r, ok := a.steal(st, a.chunk, asg)
+		a.mu.Unlock()
+		return r, ok
+	}
+	a.mu.Unlock()
+	panic(fmt.Sprintf("core: thread %d in invalid state %v", tid, st.state))
+}
+
+// sqrt is a local Newton iteration to avoid importing math for one call in
+// the scheduling hot path (the decision runs once per loop).
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 32; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// newAIDDynamicAdopting builds an AID-dynamic instance that adopts an
+// existing iteration pool and a pre-computed R table, entering the AID-phase
+// regime directly (its own sampling already happened in the caller).
+func newAIDDynamicAdopting(info LoopInfo, m, major int64, ws *pool.WorkShare, r []float64) *AIDDynamic {
+	types := make([]int, info.NThreads)
+	for tid := range types {
+		types[tid] = info.TypeOf(tid)
+	}
+	d := &AIDDynamic{
+		info:  info,
+		m:     m,
+		M:     major,
+		ws:    ws,
+		sc:    pool.NewSampleCounters(info.NumTypes, info.NThreads),
+		th:    make([]aidDynThread, info.NThreads),
+		types: types,
+	}
+	d.r = make([]float64, len(r))
+	for i, v := range r {
+		d.r[i] = clampR(v)
+	}
+	d.epoch = 1
+	for tid := range d.th {
+		// Threads join as if they had finished the initial sampling.
+		d.th[tid].state = stSamplingWait
+	}
+	return d
+}

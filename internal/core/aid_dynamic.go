@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/pool"
+)
+
+// AIDDynamic implements the AID-dynamic schedule of §4.2 (Fig. 5), an
+// asymmetry-aware replacement for OpenMP dynamic that reduces pool-access
+// overhead by letting big-core threads remove larger chunks.
+//
+// Two chunk sizes are configured: the minor chunk m (used in the initial
+// sampling phase and in all wait states) and the Major chunk M ≥ m. The
+// schedule alternates:
+//
+//  1. an initial sampling phase identical to AID-static's, which yields the
+//     first value of R (= the estimated SF);
+//  2. AID phases, during which a small-core thread is allotted M iterations
+//     and a big-core thread R·M. Each AID phase doubles as the next sampling
+//     phase: when all threads complete it, the smoothing factor
+//     SM = avg small-core phase time / avg big-core phase time
+//     is computed and the next phase uses R' = R·SM. If the allotments were
+//     perfectly balanced the raw phase times match and SM = 1.
+//
+// Following the optimization noted under Fig. 5, the scheduler switches
+// permanently to dynamic(m) as soon as the remaining iteration count drops
+// to M·NThreads or below, which removes the end-of-loop imbalance that large
+// chunks would otherwise cause (§5B, Fig. 8).
+type AIDDynamic struct {
+	info LoopInfo
+	m, M int64
+
+	ws *pool.WorkShare
+	sc *pool.SampleCounters
+
+	mu    sync.Mutex
+	th    []aidDynThread
+	types []int     // per-thread core type; mutable via Migrate (§4.3)
+	epoch int       // 0 = initial sampling; n>0 = nth AID phase
+	r     []float64 // per core type, relative progress vs slowest type
+	tail  bool      // switched to dynamic(m) for the loop's end
+
+	// Ablation toggles (see SetAblation).
+	noTailSwitch bool
+	noSMClamp    bool
+	// phaseRecorded counts threads that reported their time for the current
+	// epoch; the counters are a.sc, reset at each phase boundary.
+}
+
+type aidDynThread struct {
+	state  threadState
+	epoch  int // last epoch this thread received an AID assignment for
+	lastTS int64
+	lastN  int64
+	delta  int64 // iterations executed in wait states since last AID assignment
+	// nominalN is the intended allotment (R_j·M) of the thread's current
+	// AID phase. The actual allotment may be smaller (δ subtraction, pool
+	// clipping); measured phase times are rescaled to the nominal size so
+	// the smoothing-factor invariant holds: a perfectly balanced phase
+	// yields SM = 1 regardless of how many iterations each thread already
+	// covered while waiting.
+	nominalN int64
+}
+
+// NewAIDDynamic returns an AID-dynamic scheduler with minor chunk m and
+// Major chunk M (the paper's default experiments use m=1, M=5).
+func NewAIDDynamic(info LoopInfo, m, M int64) (*AIDDynamic, error) {
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("core: minor chunk must be positive, got %d", m)
+	}
+	if M < m {
+		return nil, fmt.Errorf("core: Major chunk %d must be >= minor chunk %d", M, m)
+	}
+	types := make([]int, info.NThreads)
+	for tid := range types {
+		types[tid] = info.TypeOf(tid)
+	}
+	return &AIDDynamic{
+		info:  info,
+		m:     m,
+		M:     M,
+		ws:    pool.NewWorkShare(info.NI),
+		sc:    pool.NewSampleCounters(info.NumTypes, info.NThreads),
+		th:    make([]aidDynThread, info.NThreads),
+		types: types,
+	}, nil
+}
+
+// Name implements Scheduler.
+func (a *AIDDynamic) Name() string { return "aid-dynamic" }
+
+// SetAblation disables individual design mechanisms so their contribution
+// can be quantified (the root benchmark harness exercises both):
+// disableTail removes the Fig. 5 end-of-loop switch to dynamic(m);
+// disableSMClamp removes the per-phase bound on the smoothing factor.
+// Must be called before the first Next invocation.
+func (a *AIDDynamic) SetAblation(disableTail, disableSMClamp bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.noTailSwitch = disableTail
+	a.noSMClamp = disableSMClamp
+}
+
+// Chunks returns the configured (m, M) pair.
+func (a *AIDDynamic) Chunks() (m, M int64) { return a.m, a.M }
+
+// R returns the current per-core-type progress ratios and ok=false before
+// the initial sampling completes. Exposed for tests and ablations.
+func (a *AIDDynamic) R() (r []float64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.r == nil {
+		return nil, false
+	}
+	return append([]float64(nil), a.r...), true
+}
+
+// InTail reports whether the end-of-loop dynamic(m) switch has engaged.
+func (a *AIDDynamic) InTail() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tail
+}
+
+func (a *AIDDynamic) steal(st *aidDynThread, n int64, asg *Assign) (Assign, bool) {
+	asg.PoolAccesses++
+	lo, hi, ok := a.ws.TrySteal(n)
+	if !ok {
+		st.lastN = 0
+		return *asg, false
+	}
+	st.delta += hi - lo
+	st.lastN = hi - lo
+	asg.Lo, asg.Hi = lo, hi
+	return *asg, true
+}
+
+// clampR keeps the progress ratio inside a sane envelope; a wildly wrong
+// sample (e.g. a descheduled thread) must not produce pathological chunks.
+func clampR(r float64) float64 {
+	const lo, hi = 0.25, 64
+	if r < lo {
+		return lo
+	}
+	if r > hi {
+		return hi
+	}
+	return r
+}
+
+// computeInitialR derives R from the initial sampling counters exactly as
+// AID-static derives SF (per-iteration-normalized times).
+func (a *AIDDynamic) computeInitialR() []float64 {
+	r := make([]float64, a.info.NumTypes)
+	slowest := 0.0
+	for t := 0; t < a.info.NumTypes; t++ {
+		if avg, ok := a.sc.Avg(t); ok && avg > slowest {
+			slowest = avg
+		}
+	}
+	for t := 0; t < a.info.NumTypes; t++ {
+		avg, ok := a.sc.Avg(t)
+		if !ok || avg <= 0 || slowest <= 0 {
+			r[t] = 1
+			continue
+		}
+		r[t] = clampR(slowest / avg)
+	}
+	return r
+}
+
+// smoothR updates R per Fig. 5: R' = R·SM with SM the ratio of raw average
+// phase completion times (slowest type over each type). Raw times are the
+// correct signal here: if the previous allotment (R·M vs M) was balanced,
+// all types finish simultaneously and SM = 1, leaving R unchanged. The
+// per-phase correction is bounded to [2/3, 3/2] so one phase that happened
+// to land on unusually heavy (or light) iterations cannot swing R wildly —
+// without the bound, loops with coarse content-dependent cost variation
+// oscillate, which is precisely what AID-dynamic's reduced chunk
+// sensitivity (Fig. 8) is meant to avoid.
+func (a *AIDDynamic) smoothR() {
+	slowest := 0.0
+	for t := 0; t < a.info.NumTypes; t++ {
+		if avg, ok := a.sc.Avg(t); ok && avg > slowest {
+			slowest = avg
+		}
+	}
+	for t := 0; t < a.info.NumTypes; t++ {
+		avg, ok := a.sc.Avg(t)
+		if !ok || avg <= 0 || slowest <= 0 {
+			continue
+		}
+		sm := slowest / avg
+		if !a.noSMClamp {
+			if sm < 2.0/3.0 {
+				sm = 2.0 / 3.0
+			} else if sm > 1.5 {
+				sm = 1.5
+			}
+		}
+		a.r[t] = clampR(a.r[t] * sm)
+	}
+}
+
+// aidAssign hands thread tid its allotment for the current AID phase:
+// R_j·M − δ iterations (M for the slowest type). It also performs the tail
+// check: with M·NThreads or fewer iterations left, AID phases stop and the
+// loop finishes under dynamic(m).
+func (a *AIDDynamic) aidAssign(tid int, st *aidDynThread, asg *Assign, nowNs int64) (Assign, bool) {
+	if !a.tail && !a.noTailSwitch && a.ws.Remaining() <= a.M*int64(a.info.NThreads) {
+		a.tail = true
+	}
+	if a.tail {
+		st.state = stDrain
+		return a.steal(st, a.m, asg)
+	}
+	st.state = stAID
+	st.epoch = a.epoch
+	st.lastTS = nowNs
+	nominal := int64(math.Round(a.r[a.types[tid]] * float64(a.M)))
+	if nominal < a.m {
+		nominal = a.m
+	}
+	st.nominalN = nominal
+	want := nominal - st.delta
+	if want < a.m {
+		want = a.m
+	}
+	st.delta = 0
+	got, ok := a.steal(st, want, asg)
+	return got, ok
+}
+
+// Migrate implements Migratable (§4.3): thread tid now runs on newType.
+// AID-dynamic adapts naturally — the thread's next AID-phase allotment uses
+// the new type's R, and subsequent smoothing folds the thread's measured
+// times into the new type's average. This is the property that makes
+// AID-dynamic the paper's candidate for multi-application scenarios with
+// OS-driven thread placement.
+func (a *AIDDynamic) Migrate(tid, newType int, _ int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if newType >= 0 && newType < a.info.NumTypes {
+		a.types[tid] = newType
+	}
+}
+
+// Next implements Scheduler, realizing the Fig. 5 state machine.
+func (a *AIDDynamic) Next(tid int, nowNs int64) (Assign, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := &a.th[tid]
+	asg := &Assign{}
+	switch st.state {
+	case stNew:
+		st.lastTS = nowNs
+		asg.Timestamps++
+		st.state = stSampling
+		return a.steal(st, a.m, asg)
+
+	case stSampling:
+		asg.Timestamps++
+		elapsed := nowNs - st.lastTS
+		st.lastTS = nowNs
+		last := false
+		if st.lastN > 0 {
+			perIter := elapsed * 1024 / st.lastN
+			last = a.sc.Record(a.types[tid], perIter)
+		}
+		if last {
+			a.r = a.computeInitialR()
+			a.sc.Reset()
+			a.epoch = 1
+			return a.aidAssign(tid, st, asg, nowNs)
+		}
+		st.state = stSamplingWait
+		return a.steal(st, a.m, asg)
+
+	case stSamplingWait:
+		if a.r != nil {
+			return a.aidAssign(tid, st, asg, nowNs)
+		}
+		return a.steal(st, a.m, asg)
+
+	case stAID:
+		// The thread just completed its AID-phase allotment; the phase
+		// completion time is the next sampling measurement (Fig. 5). The
+		// elapsed time is rescaled from the actual to the nominal allotment
+		// so that δ subtraction and pool clipping cannot distort SM.
+		asg.Timestamps++
+		elapsed := nowNs - st.lastTS
+		st.lastTS = nowNs
+		last := false
+		if st.lastN > 0 {
+			scaled := elapsed
+			if st.nominalN > 0 && st.nominalN != st.lastN {
+				scaled = elapsed * st.nominalN / st.lastN
+			}
+			last = a.sc.Record(a.types[tid], scaled)
+		}
+		if last {
+			a.smoothR()
+			a.sc.Reset()
+			a.epoch++
+			return a.aidAssign(tid, st, asg, nowNs)
+		}
+		st.state = stSamplingWait2
+		return a.steal(st, a.m, asg)
+
+	case stSamplingWait2:
+		if st.epoch < a.epoch {
+			return a.aidAssign(tid, st, asg, nowNs)
+		}
+		return a.steal(st, a.m, asg)
+
+	case stDrain:
+		return a.steal(st, a.m, asg)
+	}
+	panic(fmt.Sprintf("core: thread %d in invalid state %v", tid, st.state))
+}

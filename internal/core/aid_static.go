@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/pool"
+)
+
+// threadState enumerates the per-thread states of the AID state machines
+// (Figs. 3 and 5 of the paper).
+type threadState int
+
+const (
+	stNew threadState = iota
+	stSampling
+	stSamplingWait
+	stAID
+	stSamplingWait2 // AID-dynamic: waiting for the next AID phase to open
+	stDrain         // past the final AID assignment; mop up leftovers dynamically
+)
+
+// String implements fmt.Stringer for test diagnostics.
+func (s threadState) String() string {
+	switch s {
+	case stNew:
+		return "NEW"
+	case stSampling:
+		return "SAMPLING"
+	case stSamplingWait:
+		return "SAMPLING_WAIT"
+	case stAID:
+		return "AID"
+	case stSamplingWait2:
+		return "SAMPLING_WAIT2"
+	case stDrain:
+		return "DRAIN"
+	}
+	return fmt.Sprintf("threadState(%d)", int(s))
+}
+
+// perThread is the bookkeeping each AID scheduler keeps per worker.
+type perThread struct {
+	state  threadState
+	lastTS int64
+	// delta counts the iterations the thread executed before entering the
+	// AID state (the δ_i of §4.2), which is subtracted from its final
+	// assignment.
+	delta int64
+	// lastN is the size of the chunk whose execution time the next Next
+	// call will measure.
+	lastN int64
+}
+
+// AIDHybrid implements both AID-static and AID-hybrid (§4.2): AID-static is
+// the pct=1.0 special case. The state machine follows Fig. 3:
+//
+//	SAMPLING --(not last)--> SAMPLING_WAIT --(all sampled)--> AID
+//	SAMPLING --(last: compute SF, k)-----------------------> AID
+//
+// During SAMPLING and SAMPLING_WAIT every thread steals `chunk` iterations
+// per call, so no thread idles while the SF estimate converges. In the AID
+// state each thread receives one final assignment: SF_j·k−δ_i iterations for
+// a thread on core type j (k for the slowest type), where
+// k = pct·NI / Σ_t N_t·SF_t. With pct < 1, the remaining iterations stay in
+// the pool and are drained dynamically with chunk-size steals, balancing the
+// loop tail at the price of extra pool accesses (Fig. 4b).
+//
+// If the supplied offline SF table is non-nil, the sampling phase is skipped
+// entirely and the distribution uses the given per-type SF values — the
+// AID-static(offline-SF) variant of §5C.
+type AIDHybrid struct {
+	info   LoopInfo
+	chunk  int64 // sampling and drain chunk (paper default: 1)
+	pct    float64
+	static bool // report as AID-static
+
+	ws *pool.WorkShare
+	sc *pool.SampleCounters
+
+	mu       sync.Mutex
+	th       []perThread
+	types    []int // per-thread core type; mutable via Migrate (§4.3)
+	sfReady  bool
+	sf       []float64 // per core type, relative to the slowest sampled type
+	k        float64
+	assigned int
+}
+
+// NewAIDStatic returns an AID-static scheduler with the given sampling
+// chunk. The paper uses chunk 1 in all experiments (§5A).
+func NewAIDStatic(info LoopInfo, chunk int64) (*AIDHybrid, error) {
+	s, err := NewAIDHybrid(info, chunk, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	s.static = true
+	return s, nil
+}
+
+// NewAIDStaticOffline returns the AID-static(offline-SF) variant: sampling
+// is skipped and the per-core-type speedup factors sf (indexed by core type,
+// relative to the slowest type, so sf[NumTypes-1] should be 1) are used
+// directly. The paper uses this variant to quantify the impact of online SF
+// estimation errors (§5C, Fig. 9).
+func NewAIDStaticOffline(info LoopInfo, chunk int64, sf []float64) (*AIDHybrid, error) {
+	s, err := NewAIDHybrid(info, chunk, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	if len(sf) != info.NumTypes {
+		return nil, fmt.Errorf("core: offline SF table has %d entries, platform has %d core types", len(sf), info.NumTypes)
+	}
+	for i, v := range sf {
+		if v <= 0 {
+			return nil, fmt.Errorf("core: offline SF[%d] = %v must be positive", i, v)
+		}
+	}
+	s.static = true
+	s.sf = append([]float64(nil), sf...)
+	s.k = s.computeK(s.sf, s.pct)
+	s.sfReady = true
+	return s, nil
+}
+
+// NewAIDHybrid returns an AID-hybrid scheduler distributing pct (in (0,1])
+// of the iterations via asymmetric distribution and the rest dynamically.
+// The paper's sensitivity study selects pct=0.80 as the safe default (§5B).
+func NewAIDHybrid(info LoopInfo, chunk int64, pct float64) (*AIDHybrid, error) {
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	if chunk <= 0 {
+		return nil, fmt.Errorf("core: AID sampling chunk must be positive, got %d", chunk)
+	}
+	if pct <= 0 || pct > 1 {
+		return nil, fmt.Errorf("core: AID-hybrid percentage %v out of (0,1]", pct)
+	}
+	types := make([]int, info.NThreads)
+	for tid := range types {
+		types[tid] = info.TypeOf(tid)
+	}
+	return &AIDHybrid{
+		info:  info,
+		chunk: chunk,
+		pct:   pct,
+		ws:    pool.NewWorkShare(info.NI),
+		sc:    pool.NewSampleCounters(info.NumTypes, info.NThreads),
+		th:    make([]perThread, info.NThreads),
+		types: types,
+	}, nil
+}
+
+// Name implements Scheduler.
+func (a *AIDHybrid) Name() string {
+	if a.static {
+		return "aid-static"
+	}
+	return "aid-hybrid"
+}
+
+// Pct returns the fraction distributed asymmetrically.
+func (a *AIDHybrid) Pct() float64 { return a.pct }
+
+// SFEstimate returns the speedup factors the scheduler derived (or was
+// given), indexed by core type, and ok=false when sampling has not finished
+// yet. Exposed for the Fig. 9c experiment and for tests.
+func (a *AIDHybrid) SFEstimate() (sf []float64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.sfReady {
+		return nil, false
+	}
+	return append([]float64(nil), a.sf...), true
+}
+
+// steal removes up to n iterations from the pool for thread st, updating its
+// δ counter, and fills asg. Returns ok=false when the pool is drained.
+func (a *AIDHybrid) steal(st *perThread, n int64, asg *Assign) (Assign, bool) {
+	asg.PoolAccesses++
+	lo, hi, ok := a.ws.TrySteal(n)
+	if !ok {
+		st.lastN = 0
+		return *asg, false
+	}
+	st.delta += hi - lo
+	st.lastN = hi - lo
+	asg.Lo, asg.Hi = lo, hi
+	return *asg, true
+}
+
+// computeSF derives per-type SF values from the sampling counters: the
+// slowest core type (largest average per-iteration time) is the reference
+// with SF=1; every other type's SF is slowestAvg/typeAvg. Types with no
+// running threads keep SF=1; they receive no iterations anyway (N_t = 0).
+func (a *AIDHybrid) computeSF() []float64 {
+	sf := make([]float64, a.info.NumTypes)
+	slowest := 0.0
+	for t := 0; t < a.info.NumTypes; t++ {
+		if avg, ok := a.sc.Avg(t); ok && avg > slowest {
+			slowest = avg
+		}
+	}
+	for t := 0; t < a.info.NumTypes; t++ {
+		avg, ok := a.sc.Avg(t)
+		if !ok || avg <= 0 || slowest <= 0 {
+			sf[t] = 1
+			continue
+		}
+		sf[t] = slowest / avg
+	}
+	return sf
+}
+
+// computeK evaluates k = pct·NI / Σ_t N_t·SF_t (§4.2, generalized to NC
+// core types).
+func (a *AIDHybrid) computeK(sf []float64, pct float64) float64 {
+	denom := 0.0
+	for t, n := range a.info.typeCounts() {
+		denom += float64(n) * sf[t]
+	}
+	if denom <= 0 {
+		return 0
+	}
+	return pct * float64(a.info.NI) / denom
+}
+
+// finalAssign hands thread tid its single AID allotment: SF_j·k − δ_i
+// iterations. Under pure AID-static the last thread to be assigned takes
+// whatever remains instead, so SF rounding never orphans iterations.
+func (a *AIDHybrid) finalAssign(tid int, st *perThread, asg *Assign) (Assign, bool) {
+	a.assigned++
+	st.state = stDrain
+	if a.static && a.assigned == a.info.NThreads {
+		asg.PoolAccesses++
+		lo, hi, ok := a.ws.TryStealRest()
+		if !ok {
+			return *asg, false
+		}
+		st.lastN = hi - lo
+		asg.Lo, asg.Hi = lo, hi
+		return *asg, true
+	}
+	want := int64(math.Round(a.sf[a.types[tid]]*a.k)) - st.delta
+	if want <= 0 {
+		// The thread already covered its share during sampling; send it
+		// straight to the drain state (it will mop up leftovers, if any).
+		return a.steal(st, a.chunk, asg)
+	}
+	return a.steal(st, want, asg)
+}
+
+// Migrate implements Migratable (§4.3): the runtime is told that thread tid
+// now runs on a core of newType. If the thread has not received its final
+// AID allotment yet, the new type is used for it; after the final allotment,
+// AID-static has no rebalancing mechanism (the paper suggests combining it
+// with work stealing for that case) — the drain state's dynamic fallback is
+// the only relief.
+func (a *AIDHybrid) Migrate(tid, newType int, _ int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if newType >= 0 && newType < a.info.NumTypes {
+		a.types[tid] = newType
+	}
+}
+
+// Next implements Scheduler, realizing the Fig. 3 state machine.
+func (a *AIDHybrid) Next(tid int, nowNs int64) (Assign, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := &a.th[tid]
+	asg := &Assign{}
+	switch st.state {
+	case stNew:
+		st.lastTS = nowNs
+		asg.Timestamps++
+		if a.sfReady {
+			// Offline-SF variant: no sampling phase at all (§5C).
+			return a.finalAssign(tid, st, asg)
+		}
+		st.state = stSampling
+		return a.steal(st, a.chunk, asg)
+
+	case stSampling:
+		// The chunk just finished is this thread's sampling phase.
+		asg.Timestamps++
+		elapsed := nowNs - st.lastTS
+		st.lastTS = nowNs
+		last := false
+		if st.lastN > 0 {
+			// Record per-iteration time (scaled for integer precision) so
+			// end-of-loop clipping cannot bias the estimate.
+			perIter := elapsed * 1024 / st.lastN
+			last = a.sc.Record(a.types[tid], perIter)
+		}
+		if last {
+			a.sf = a.computeSF()
+			a.k = a.computeK(a.sf, a.pct)
+			a.sfReady = true
+			return a.finalAssign(tid, st, asg)
+		}
+		st.state = stSamplingWait
+		return a.steal(st, a.chunk, asg)
+
+	case stSamplingWait:
+		if a.sfReady {
+			return a.finalAssign(tid, st, asg)
+		}
+		return a.steal(st, a.chunk, asg)
+
+	case stDrain:
+		// Past the final assignment: under AID-hybrid this schedules the
+		// remaining (1-pct)·NI iterations dynamically; under AID-static it
+		// only fires if SF rounding left a residue.
+		return a.steal(st, a.chunk, asg)
+	}
+	panic(fmt.Sprintf("core: thread %d in invalid state %v", tid, st.state))
+}

@@ -1,0 +1,300 @@
+// Package core implements the paper's primary contribution: the
+// loop-scheduling methods for asymmetric multicore processors. It provides
+// the conventional OpenMP schedules (static, dynamic, guided) as baselines
+// plus the three Asymmetric Iteration Distribution (AID) methods of §4.2:
+//
+//   - AID-static: an asymmetry-aware replacement for static. A short
+//     sampling phase estimates the loop's big-to-small speedup factor (SF)
+//     online, then iterations are distributed unevenly in one final
+//     assignment per thread — SF·k iterations to big-core threads and k to
+//     small-core threads, where k = NI / (NB·SF + NS) (Fig. 3).
+//   - AID-hybrid: AID-static applied to a configurable percentage of the
+//     iterations; the remainder is scheduled dynamically to absorb residual
+//     imbalance at the loop's end.
+//   - AID-dynamic: a replacement for dynamic that alternates uneven "AID
+//     phases" (big cores take R·M iterations, small cores M) with continuous
+//     re-estimation of R via a smoothing factor, and switches to dynamic(m)
+//     when few iterations remain (Fig. 5).
+//
+// Schedulers are engine agnostic: every Next call receives the current
+// timestamp from the caller, so the same implementation runs under the
+// discrete-event simulator (virtual ns) and under real goroutines (monotonic
+// ns). All scheduling state lives in shared structures mirroring libgomp's
+// work_share; iteration stealing is lock free (atomic fetch-and-add via
+// internal/pool). Unlike libgomp we serialize the O(1) AID phase-transition
+// bookkeeping with a mutex for clarity; the hot path — chunk removal — stays
+// lock free.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pool"
+)
+
+// LoopInfo describes one parallel loop to a scheduler: the trip count, the
+// worker-thread count, and the mapping from threads to core types. Core
+// types are indexed with 0 = fastest (big) and NumTypes-1 = slowest (small),
+// matching the generalization of AID-static to NC core types in §4.2.
+type LoopInfo struct {
+	// NI is the total number of iterations in the loop.
+	NI int64
+	// NThreads is the number of worker threads.
+	NThreads int
+	// NumTypes is the number of distinct core types on the platform.
+	NumTypes int
+	// TypeOf maps a thread ID to its core type. The runtime derives this
+	// from the binding convention (BS for all AID variants, §4.3). It must
+	// be stable for the duration of the loop (assumption (iii) of §4.2:
+	// threads are not migrated between core types during a loop).
+	TypeOf func(tid int) int
+}
+
+// Validate checks the loop description.
+func (li LoopInfo) Validate() error {
+	if li.NI < 0 {
+		return fmt.Errorf("core: negative trip count %d", li.NI)
+	}
+	if li.NThreads <= 0 {
+		return fmt.Errorf("core: non-positive thread count %d", li.NThreads)
+	}
+	if li.NumTypes <= 0 {
+		return fmt.Errorf("core: non-positive core type count %d", li.NumTypes)
+	}
+	if li.TypeOf == nil {
+		return fmt.Errorf("core: nil TypeOf mapping")
+	}
+	for tid := 0; tid < li.NThreads; tid++ {
+		ct := li.TypeOf(tid)
+		if ct < 0 || ct >= li.NumTypes {
+			return fmt.Errorf("core: thread %d maps to core type %d, out of [0,%d)", tid, ct, li.NumTypes)
+		}
+	}
+	return nil
+}
+
+// typeCounts returns the number of threads per core type (N_t in §4.2).
+func (li LoopInfo) typeCounts() []int {
+	counts := make([]int, li.NumTypes)
+	for tid := 0; tid < li.NThreads; tid++ {
+		counts[li.TypeOf(tid)]++
+	}
+	return counts
+}
+
+// Assign is the result of one scheduler invocation: a half-open iteration
+// range plus the runtime-cost metadata the simulator charges for the call.
+type Assign struct {
+	// Lo, Hi delimit the assigned iterations [Lo, Hi).
+	Lo, Hi int64
+	// PoolAccesses counts atomic operations on the shared iteration pool
+	// performed during this call (0 for compiled-in static distribution,
+	// 1 for a dynamic steal, 1+retries for a guided CAS).
+	PoolAccesses int
+	// Timestamps counts clock reads performed during this call (the
+	// sampling machinery of the AID methods).
+	Timestamps int
+}
+
+// N returns the number of iterations in the assignment.
+func (a Assign) N() int64 { return a.Hi - a.Lo }
+
+// Scheduler hands out iteration chunks to worker threads. Implementations
+// must be safe for concurrent use by NThreads goroutines. A Scheduler
+// instance is single use: it schedules exactly one execution of one loop.
+type Scheduler interface {
+	// Next returns the next chunk for thread tid given the current time in
+	// nanoseconds. ok=false means no work remains for this thread and it
+	// should proceed to the loop's implicit barrier.
+	Next(tid int, nowNs int64) (Assign, bool)
+	// Name identifies the scheduling method (for reports).
+	Name() string
+}
+
+// --- static ---
+
+// Static implements the OpenMP static schedule without a chunk: the
+// iteration space is split into NThreads contiguous blocks of near-equal
+// size, assigned by thread ID. GCC compiles this distribution directly into
+// the program (§4.1), so it costs no runtime pool accesses at all.
+type Static struct {
+	info LoopInfo
+	done []bool
+}
+
+// NewStatic returns a static scheduler for the loop.
+func NewStatic(info LoopInfo) (*Static, error) {
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	return &Static{info: info, done: make([]bool, info.NThreads)}, nil
+}
+
+// Name implements Scheduler.
+func (s *Static) Name() string { return "static" }
+
+// Range returns thread tid's precomputed block, matching libgomp: the first
+// NI%N threads receive ceil(NI/N) iterations, the rest floor(NI/N).
+func (s *Static) Range(tid int) (lo, hi int64) {
+	n := int64(s.info.NThreads)
+	q := s.info.NI / n
+	r := s.info.NI % n
+	t := int64(tid)
+	if t < r {
+		lo = t * (q + 1)
+		return lo, lo + q + 1
+	}
+	lo = r*(q+1) + (t-r)*q
+	return lo, lo + q
+}
+
+// Next implements Scheduler. Each thread receives its block exactly once.
+func (s *Static) Next(tid int, _ int64) (Assign, bool) {
+	if s.done[tid] {
+		return Assign{}, false
+	}
+	s.done[tid] = true
+	lo, hi := s.Range(tid)
+	if lo >= hi {
+		return Assign{}, false
+	}
+	return Assign{Lo: lo, Hi: hi}, true
+}
+
+// --- static with chunk ---
+
+// StaticChunked implements the OpenMP static,chunk schedule: blocks of the
+// given chunk size are assigned to threads round-robin. Like Static, the
+// distribution is compiled in and costs no pool accesses.
+type StaticChunked struct {
+	info  LoopInfo
+	chunk int64
+	pos   []int64 // next block start per thread
+}
+
+// NewStaticChunked returns a static,chunk scheduler.
+func NewStaticChunked(info LoopInfo, chunk int64) (*StaticChunked, error) {
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	if chunk <= 0 {
+		return nil, fmt.Errorf("core: static chunk must be positive, got %d", chunk)
+	}
+	s := &StaticChunked{info: info, chunk: chunk, pos: make([]int64, info.NThreads)}
+	for tid := range s.pos {
+		s.pos[tid] = int64(tid) * chunk
+	}
+	return s, nil
+}
+
+// Name implements Scheduler.
+func (s *StaticChunked) Name() string { return "static-chunked" }
+
+// Next implements Scheduler.
+func (s *StaticChunked) Next(tid int, _ int64) (Assign, bool) {
+	lo := s.pos[tid]
+	if lo >= s.info.NI {
+		return Assign{}, false
+	}
+	hi := lo + s.chunk
+	if hi > s.info.NI {
+		hi = s.info.NI
+	}
+	s.pos[tid] = lo + s.chunk*int64(s.info.NThreads)
+	return Assign{Lo: lo, Hi: hi}, true
+}
+
+// --- dynamic ---
+
+// Dynamic implements the OpenMP dynamic schedule: threads repeatedly steal
+// `chunk` iterations from the shared pool with an atomic fetch-and-add,
+// mirroring gomp_iter_dynamic_next (§4.2). The default chunk is 1.
+type Dynamic struct {
+	info  LoopInfo
+	chunk int64
+	ws    *pool.WorkShare
+}
+
+// NewDynamic returns a dynamic scheduler with the given chunk.
+func NewDynamic(info LoopInfo, chunk int64) (*Dynamic, error) {
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	if chunk <= 0 {
+		return nil, fmt.Errorf("core: dynamic chunk must be positive, got %d", chunk)
+	}
+	return &Dynamic{info: info, chunk: chunk, ws: pool.NewWorkShare(info.NI)}, nil
+}
+
+// Name implements Scheduler.
+func (d *Dynamic) Name() string { return "dynamic" }
+
+// Chunk returns the configured chunk size.
+func (d *Dynamic) Chunk() int64 { return d.chunk }
+
+// Next implements Scheduler.
+func (d *Dynamic) Next(_ int, _ int64) (Assign, bool) {
+	lo, hi, ok := d.ws.TrySteal(d.chunk)
+	if !ok {
+		return Assign{PoolAccesses: 1}, false
+	}
+	return Assign{Lo: lo, Hi: hi, PoolAccesses: 1}, true
+}
+
+// --- guided ---
+
+// Guided implements the OpenMP guided schedule: the chunk starts large and
+// decays as the pool drains — each steal takes max(remaining/NThreads,
+// minChunk) iterations. The paper evaluated guided and found it inferior to
+// both static and dynamic on AMPs (§5: +44%/+65% average completion time);
+// it is provided as a baseline for that comparison.
+type Guided struct {
+	info     LoopInfo
+	minChunk int64
+	ws       *pool.WorkShare
+}
+
+// NewGuided returns a guided scheduler with the given minimum chunk.
+func NewGuided(info LoopInfo, minChunk int64) (*Guided, error) {
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	if minChunk <= 0 {
+		return nil, fmt.Errorf("core: guided min chunk must be positive, got %d", minChunk)
+	}
+	return &Guided{info: info, minChunk: minChunk, ws: pool.NewWorkShare(info.NI)}, nil
+}
+
+// Name implements Scheduler.
+func (g *Guided) Name() string { return "guided" }
+
+// Next implements Scheduler.
+func (g *Guided) Next(_ int, _ int64) (Assign, bool) {
+	n := int64(g.info.NThreads)
+	lo, hi, ok, retries := g.ws.TryStealFunc(func(rem int64) int64 {
+		size := rem / n
+		if size < g.minChunk {
+			size = g.minChunk
+		}
+		return size
+	})
+	if !ok {
+		return Assign{PoolAccesses: 1 + retries}, false
+	}
+	return Assign{Lo: lo, Hi: hi, PoolAccesses: 1 + retries}, true
+}
+
+// Migratable is implemented by schedulers that can adapt when the OS
+// migrates a worker thread between cores of different types mid-loop. The
+// paper proposes exactly this OS-runtime interaction for multi-application
+// scenarios (§4.3): "the runtime system would also greatly benefit from
+// notifications from the OS when an application thread is migrated between
+// cores of different types ... That would give the runtime system
+// opportunities to readjust the distribution of iterations dynamically."
+// AIDHybrid (and so AID-static) and AIDDynamic implement it.
+type Migratable interface {
+	// Migrate tells the scheduler that thread tid now runs on a core of
+	// type newType, effective at time nowNs. Out-of-range types are
+	// ignored (defensive: a racing notification must not corrupt state).
+	Migrate(tid, newType int, nowNs int64)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// WorkSteal implements the work-stealing alternative the paper contrasts
+// AID's work-sharing approach with (§4.3: "possibly by combining our
+// work-sharing version of AID, with work-stealing techniques [4, 27]").
+//
+// Each thread owns a contiguous range of the iteration space, initially the
+// same even split the static schedule would use. A thread consumes its own
+// range from the front in `chunk`-sized bites; when its range runs dry it
+// steals the back *half* of the most-loaded victim's range. On an AMP the
+// big-core threads drain their ranges first and then relieve the small-core
+// threads, so asymmetry is absorbed without any SF estimation — at the cost
+// of steal operations and of the stolen ranges landing cold in the thief's
+// cache.
+//
+// WorkSteal also implements Migratable: migrations need no action because
+// stealing continuously rebalances; the method exists so the runtime can
+// treat all adaptive schedulers uniformly.
+type WorkSteal struct {
+	info  LoopInfo
+	chunk int64
+
+	mu     sync.Mutex
+	ranges []stealRange
+	// steals counts successful steal operations (for tests/ablation).
+	steals int
+}
+
+type stealRange struct {
+	lo, hi int64
+}
+
+// NewWorkSteal returns a work-stealing scheduler with the given bite size.
+func NewWorkSteal(info LoopInfo, chunk int64) (*WorkSteal, error) {
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	if chunk <= 0 {
+		return nil, fmt.Errorf("core: work-steal chunk must be positive, got %d", chunk)
+	}
+	w := &WorkSteal{info: info, chunk: chunk, ranges: make([]stealRange, info.NThreads)}
+	// Even contiguous split, exactly like Static.Range.
+	n := int64(info.NThreads)
+	q := info.NI / n
+	r := info.NI % n
+	cursor := int64(0)
+	for tid := int64(0); tid < n; tid++ {
+		size := q
+		if tid < r {
+			size++
+		}
+		w.ranges[tid] = stealRange{lo: cursor, hi: cursor + size}
+		cursor += size
+	}
+	return w, nil
+}
+
+// Name implements Scheduler.
+func (w *WorkSteal) Name() string { return "work-steal" }
+
+// Steals returns the number of successful steals so far.
+func (w *WorkSteal) Steals() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.steals
+}
+
+// Migrate implements Migratable; work stealing self-balances, so the
+// notification needs no bookkeeping.
+func (w *WorkSteal) Migrate(int, int, int64) {}
+
+// Next implements Scheduler.
+func (w *WorkSteal) Next(tid int, _ int64) (Assign, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	asg := Assign{}
+	r := &w.ranges[tid]
+	if r.lo >= r.hi {
+		// Local range dry: steal the back half of the most-loaded victim.
+		victim := -1
+		var best int64
+		for v := range w.ranges {
+			if v == tid {
+				continue
+			}
+			if load := w.ranges[v].hi - w.ranges[v].lo; load > best {
+				best = load
+				victim = v
+			}
+		}
+		// Not worth stealing less than a chunk; finish instead.
+		if victim < 0 || best <= w.chunk {
+			return asg, false
+		}
+		vr := &w.ranges[victim]
+		mid := vr.lo + (vr.hi-vr.lo)/2
+		r.lo, r.hi = mid, vr.hi
+		vr.hi = mid
+		w.steals++
+		asg.PoolAccesses++ // the steal is a synchronized operation
+	}
+	hi := r.lo + w.chunk
+	if hi > r.hi {
+		hi = r.hi
+	}
+	asg.Lo, asg.Hi = r.lo, hi
+	asg.PoolAccesses++ // local deque access (cheaper in reality; modeled flat)
+	r.lo = hi
+	return asg, true
+}

@@ -1,0 +1,188 @@
+// Package kernels provides small, real computational kernels used by the
+// runnable examples and by the real-goroutine executor tests. Each kernel
+// corresponds to one of the workload archetypes in the paper's evaluation:
+// Monte-Carlo sampling (NPB EP), option pricing (PARSEC blackscholes), a
+// heat-diffusion stencil (Rodinia hotspot), level-synchronous BFS (Rodinia
+// bfs) and sparse matrix-vector products (NPB CG).
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// MonteCarloPi estimates π from n pseudo-random points in the unit square,
+// using a deterministic stream derived from seed. It is the EP-style kernel:
+// every iteration performs the same amount of independent arithmetic.
+func MonteCarloPi(n int, seed uint64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	rng := xrand.New(seed)
+	in := 0
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		y := rng.Float64()
+		if x*x+y*y <= 1 {
+			in++
+		}
+	}
+	return 4 * float64(in) / float64(n)
+}
+
+// MonteCarloPiRange processes samples [lo, hi) of the stream for seed and
+// returns the hit count, so a parallel loop can partition the sample space
+// across worker threads and sum the partial results.
+func MonteCarloPiRange(lo, hi int64, seed uint64) int64 {
+	var in int64
+	for i := lo; i < hi; i++ {
+		// Derive a per-sample generator so any partition of [0,n) yields
+		// the same total as a sequential run.
+		rng := xrand.New(seed ^ uint64(i)*0x9E3779B97F4A7C15)
+		x := rng.Float64()
+		y := rng.Float64()
+		if x*x+y*y <= 1 {
+			in++
+		}
+	}
+	return in
+}
+
+// BlackScholesCall prices a European call option with the Black-Scholes
+// closed form. s is the spot price, k the strike, t the time to maturity in
+// years, r the risk-free rate and sigma the volatility.
+func BlackScholesCall(s, k, t, r, sigma float64) float64 {
+	if t <= 0 || sigma <= 0 {
+		if v := s - k; v > 0 {
+			return v
+		}
+		return 0
+	}
+	d1 := (math.Log(s/k) + (r+sigma*sigma/2)*t) / (sigma * math.Sqrt(t))
+	d2 := d1 - sigma*math.Sqrt(t)
+	return s*cnd(d1) - k*math.Exp(-r*t)*cnd(d2)
+}
+
+// cnd is the cumulative standard normal distribution via math.Erf.
+func cnd(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// Grid is a dense 2-D scalar field for the stencil kernel.
+type Grid struct {
+	W, H int
+	Data []float64
+}
+
+// NewGrid allocates a W×H grid initialized to zero.
+func NewGrid(w, h int) *Grid {
+	return &Grid{W: w, H: h, Data: make([]float64, w*h)}
+}
+
+// At returns the cell value at (x, y).
+func (g *Grid) At(x, y int) float64 { return g.Data[y*g.W+x] }
+
+// Set assigns the cell at (x, y).
+func (g *Grid) Set(x, y int, v float64) { g.Data[y*g.W+x] = v }
+
+// StencilRow computes one row of a 5-point heat-diffusion step from src into
+// dst with diffusion coefficient alpha in (0, 0.25]. Border cells copy
+// through. Rows are independent, so a parallel loop over y reproduces the
+// hotspot access pattern (each iteration is one row of inner work).
+func StencilRow(dst, src *Grid, y int, alpha float64) {
+	w, h := src.W, src.H
+	if y == 0 || y == h-1 {
+		copy(dst.Data[y*w:(y+1)*w], src.Data[y*w:(y+1)*w])
+		return
+	}
+	for x := 0; x < w; x++ {
+		if x == 0 || x == w-1 {
+			dst.Set(x, y, src.At(x, y))
+			continue
+		}
+		c := src.At(x, y)
+		lap := src.At(x-1, y) + src.At(x+1, y) + src.At(x, y-1) + src.At(x, y+1) - 4*c
+		dst.Set(x, y, c+alpha*lap)
+	}
+}
+
+// Graph is an adjacency-list graph for the BFS kernel.
+type Graph struct {
+	Adj [][]int32
+}
+
+// RandomGraph builds a connected pseudo-random graph with n vertices and
+// roughly n*degree edges, deterministically from seed.
+func RandomGraph(n, degree int, seed uint64) *Graph {
+	rng := xrand.New(seed)
+	g := &Graph{Adj: make([][]int32, n)}
+	// A spanning path guarantees connectivity.
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		g.Adj[u] = append(g.Adj[u], int32(v))
+		g.Adj[v] = append(g.Adj[v], int32(u))
+	}
+	extra := n * (degree - 2) / 2
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		g.Adj[u] = append(g.Adj[u], int32(v))
+		g.Adj[v] = append(g.Adj[v], int32(u))
+	}
+	return g
+}
+
+// BFSLevel expands one BFS frontier: for frontier vertex index i, it scans
+// the vertex's neighbours and claims unvisited ones into next using the
+// level array (level < 0 means unvisited). It returns the claimed vertices.
+// Iterations have irregular cost (degree-dependent), the bfs workload's
+// defining property.
+func BFSLevel(g *Graph, frontier []int32, level []int32, depth int32) []int32 {
+	var next []int32
+	for _, u := range frontier {
+		for _, v := range g.Adj[u] {
+			if level[v] < 0 {
+				level[v] = depth
+				next = append(next, v)
+			}
+		}
+	}
+	return next
+}
+
+// CSR is a sparse matrix in compressed-sparse-row form.
+type CSR struct {
+	N      int
+	RowPtr []int32
+	ColIdx []int32
+	Values []float64
+}
+
+// RandomCSR builds an n×n sparse matrix with about nnzPerRow non-zeros per
+// row, deterministically from seed.
+func RandomCSR(n, nnzPerRow int, seed uint64) *CSR {
+	rng := xrand.New(seed)
+	m := &CSR{N: n, RowPtr: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		nnz := 1 + rng.Intn(2*nnzPerRow)
+		for j := 0; j < nnz; j++ {
+			m.ColIdx = append(m.ColIdx, int32(rng.Intn(n)))
+			m.Values = append(m.Values, rng.Float64()*2-1)
+		}
+		m.RowPtr[i+1] = int32(len(m.ColIdx))
+	}
+	return m
+}
+
+// SpMVRow computes one row of y = A·x. Row costs vary with the row's
+// non-zero count, mirroring CG's irregular per-iteration work.
+func (m *CSR) SpMVRow(y, x []float64, row int) {
+	sum := 0.0
+	for k := m.RowPtr[row]; k < m.RowPtr[row+1]; k++ {
+		sum += m.Values[k] * x[m.ColIdx[k]]
+	}
+	y[row] = sum
+}

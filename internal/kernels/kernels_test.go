@@ -1,0 +1,190 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonteCarloPiConverges(t *testing.T) {
+	pi := MonteCarloPi(200000, 42)
+	if math.Abs(pi-math.Pi) > 0.02 {
+		t.Errorf("MonteCarloPi = %v, want ~%v", pi, math.Pi)
+	}
+}
+
+func TestMonteCarloPiDeterministic(t *testing.T) {
+	if MonteCarloPi(1000, 7) != MonteCarloPi(1000, 7) {
+		t.Error("MonteCarloPi not deterministic")
+	}
+	if MonteCarloPi(1000, 7) == MonteCarloPi(1000, 8) {
+		t.Error("MonteCarloPi ignores seed")
+	}
+	if MonteCarloPi(0, 1) != 0 {
+		t.Error("MonteCarloPi(0) != 0")
+	}
+}
+
+func TestMonteCarloPiRangePartitionInvariant(t *testing.T) {
+	// Any partition of the sample space must produce the same total.
+	const n = 10000
+	whole := MonteCarloPiRange(0, n, 99)
+	split := MonteCarloPiRange(0, 3000, 99) +
+		MonteCarloPiRange(3000, 7777, 99) +
+		MonteCarloPiRange(7777, n, 99)
+	if whole != split {
+		t.Errorf("partitioned sum %d != whole %d", split, whole)
+	}
+	pi := 4 * float64(whole) / n
+	if math.Abs(pi-math.Pi) > 0.1 {
+		t.Errorf("range-based pi = %v", pi)
+	}
+}
+
+func TestBlackScholesCall(t *testing.T) {
+	// Reference value: S=100, K=100, T=1, r=0.05, sigma=0.2 -> ~10.4506.
+	got := BlackScholesCall(100, 100, 1, 0.05, 0.2)
+	if math.Abs(got-10.4506) > 0.001 {
+		t.Errorf("BlackScholesCall = %v, want ~10.4506", got)
+	}
+	// Deep in the money with zero time: intrinsic value.
+	if got := BlackScholesCall(150, 100, 0, 0.05, 0.2); got != 50 {
+		t.Errorf("expired ITM call = %v, want 50", got)
+	}
+	if got := BlackScholesCall(50, 100, 0, 0.05, 0.2); got != 0 {
+		t.Errorf("expired OTM call = %v, want 0", got)
+	}
+	// Monotone in spot.
+	if BlackScholesCall(110, 100, 1, 0.05, 0.2) <= got {
+		t.Error("call price not monotone in spot")
+	}
+}
+
+func TestGridAndStencil(t *testing.T) {
+	src := NewGrid(8, 8)
+	dst := NewGrid(8, 8)
+	src.Set(4, 4, 100)
+	for y := 0; y < 8; y++ {
+		StencilRow(dst, src, y, 0.25)
+	}
+	// Heat spreads to the four neighbours.
+	for _, p := range [][2]int{{3, 4}, {5, 4}, {4, 3}, {4, 5}} {
+		if dst.At(p[0], p[1]) != 25 {
+			t.Errorf("neighbour (%d,%d) = %v, want 25", p[0], p[1], dst.At(p[0], p[1]))
+		}
+	}
+	if dst.At(4, 4) != 0 {
+		t.Errorf("center = %v, want 0 (alpha=0.25 fully diffuses)", dst.At(4, 4))
+	}
+	// Total heat is conserved away from borders.
+	var sum float64
+	for _, v := range dst.Data {
+		sum += v
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("heat not conserved: %v", sum)
+	}
+}
+
+func TestStencilBordersCopy(t *testing.T) {
+	src := NewGrid(5, 5)
+	dst := NewGrid(5, 5)
+	src.Set(0, 0, 7)
+	src.Set(4, 4, 9)
+	for y := 0; y < 5; y++ {
+		StencilRow(dst, src, y, 0.2)
+	}
+	if dst.At(0, 0) != 7 || dst.At(4, 4) != 9 {
+		t.Error("border cells not copied through")
+	}
+}
+
+func TestRandomGraphConnected(t *testing.T) {
+	g := RandomGraph(500, 6, 11)
+	level := make([]int32, 500)
+	for i := range level {
+		level[i] = -1
+	}
+	level[0] = 0
+	frontier := []int32{0}
+	visited := 1
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		frontier = BFSLevel(g, frontier, level, depth)
+		visited += len(frontier)
+	}
+	if visited != 500 {
+		t.Errorf("BFS reached %d/500 vertices; graph must be connected", visited)
+	}
+}
+
+func TestBFSLevelsMonotone(t *testing.T) {
+	g := RandomGraph(200, 4, 5)
+	level := make([]int32, 200)
+	for i := range level {
+		level[i] = -1
+	}
+	level[0] = 0
+	frontier := []int32{0}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		frontier = BFSLevel(g, frontier, level, depth)
+	}
+	// Every vertex's level differs from some neighbour's by exactly 1
+	// (BFS tree property), and no vertex is unvisited.
+	for v, lv := range level {
+		if lv < 0 {
+			t.Fatalf("vertex %d unvisited", v)
+		}
+		if lv == 0 {
+			continue
+		}
+		ok := false
+		for _, u := range g.Adj[v] {
+			if level[u] == lv-1 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("vertex %d at level %d has no level-%d neighbour", v, lv, lv-1)
+		}
+	}
+}
+
+func TestCSRSpMV(t *testing.T) {
+	// Hand-built 3x3: [[2,0,0],[0,3,1],[1,0,1]] times [1,2,3].
+	m := &CSR{
+		N:      3,
+		RowPtr: []int32{0, 1, 3, 5},
+		ColIdx: []int32{0, 1, 2, 0, 2},
+		Values: []float64{2, 3, 1, 1, 1},
+	}
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	for r := 0; r < 3; r++ {
+		m.SpMVRow(y, x, r)
+	}
+	want := []float64{2, 9, 4}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestRandomCSRShape(t *testing.T) {
+	m := RandomCSR(100, 8, 3)
+	if m.N != 100 || len(m.RowPtr) != 101 {
+		t.Fatalf("bad CSR shape: N=%d rows=%d", m.N, len(m.RowPtr))
+	}
+	if int(m.RowPtr[100]) != len(m.ColIdx) || len(m.ColIdx) != len(m.Values) {
+		t.Error("CSR arrays inconsistent")
+	}
+	for r := 0; r < 100; r++ {
+		if m.RowPtr[r+1] < m.RowPtr[r] {
+			t.Fatalf("row pointers not monotone at %d", r)
+		}
+	}
+	for _, c := range m.ColIdx {
+		if c < 0 || c >= 100 {
+			t.Fatalf("column index %d out of range", c)
+		}
+	}
+}

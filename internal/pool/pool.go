@@ -1,0 +1,174 @@
+// Package pool implements the shared iteration pool that libgomp maintains
+// per parallel loop in its work_share structure (§4.2 of the paper). The
+// state of the pool is a pair (next, end): `next` is the first iteration not
+// yet assigned to any thread and `end` is one past the last iteration of the
+// loop. Threads remove ("steal") chunks with an atomic fetch-and-add on
+// `next`, so the pool is lock free.
+//
+// The package also provides the per-core-type sampling counters the AID
+// methods add to work_share: a lock-free accumulator of sampling-phase
+// completion times per core type, and a counter of threads that completed
+// the sampling phase (footnote 2 of §4.2).
+package pool
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// WorkShare is the per-loop iteration pool. All methods are safe for
+// concurrent use by worker threads.
+type WorkShare struct {
+	next atomic.Int64
+	end  int64
+}
+
+// NewWorkShare returns a pool over the iteration space [0, ni). ni may be 0
+// (an empty loop); negative trip counts are a programming error and panic.
+func NewWorkShare(ni int64) *WorkShare {
+	if ni < 0 {
+		panic(fmt.Sprintf("pool: negative iteration count %d", ni))
+	}
+	ws := &WorkShare{end: ni}
+	return ws
+}
+
+// End returns one past the last iteration of the loop.
+func (ws *WorkShare) End() int64 { return ws.end }
+
+// Next returns the first iteration not yet assigned to any thread. The value
+// may exceed End once the pool is drained (fetch-and-add overshoots).
+func (ws *WorkShare) Next() int64 { return ws.next.Load() }
+
+// Remaining returns the number of unassigned iterations (never negative).
+func (ws *WorkShare) Remaining() int64 {
+	r := ws.end - ws.next.Load()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// TrySteal atomically removes up to chunk iterations from the pool, exactly
+// as gomp_iter_dynamic_next does with fetch-and-add: it increments `next` by
+// chunk and clips the claimed range against `end`. It returns the claimed
+// half-open range [lo, hi) and ok=false when the pool was already drained.
+// chunk must be positive.
+func (ws *WorkShare) TrySteal(chunk int64) (lo, hi int64, ok bool) {
+	if chunk <= 0 {
+		panic(fmt.Sprintf("pool: non-positive chunk %d", chunk))
+	}
+	lo = ws.next.Add(chunk) - chunk
+	if lo >= ws.end {
+		return 0, 0, false
+	}
+	hi = lo + chunk
+	if hi > ws.end {
+		hi = ws.end
+	}
+	return lo, hi, true
+}
+
+// TryStealRest atomically claims all remaining iterations. Used by the
+// AID-static final assignment for the last thread, which must take whatever
+// is left so no iteration is orphaned by SF rounding.
+func (ws *WorkShare) TryStealRest() (lo, hi int64, ok bool) {
+	for {
+		cur := ws.next.Load()
+		if cur >= ws.end {
+			return 0, 0, false
+		}
+		if ws.next.CompareAndSwap(cur, ws.end) {
+			return cur, ws.end, true
+		}
+	}
+}
+
+// TryStealFunc atomically claims a chunk whose size depends on the number of
+// remaining iterations, as the guided schedule requires (chunk =
+// max(remaining/nthreads, minChunk)). sizeOf receives the remaining count
+// (always > 0) and must return a positive size; it may be called several
+// times if the CAS races with other threads. retries reports how many CAS
+// attempts failed, which the simulator charges as extra pool accesses.
+func (ws *WorkShare) TryStealFunc(sizeOf func(remaining int64) int64) (lo, hi int64, ok bool, retries int) {
+	for {
+		cur := ws.next.Load()
+		if cur >= ws.end {
+			return 0, 0, false, retries
+		}
+		size := sizeOf(ws.end - cur)
+		if size <= 0 {
+			panic(fmt.Sprintf("pool: sizeOf returned non-positive size %d", size))
+		}
+		hi = cur + size
+		if hi > ws.end {
+			hi = ws.end
+		}
+		if ws.next.CompareAndSwap(cur, hi) {
+			return cur, hi, true, retries
+		}
+		retries++
+	}
+}
+
+// SampleCounters implements footnote 2 of §4.2: to approximate a loop's SF
+// in a scalable fashion, the runtime keeps, for each core type, a shared
+// counter of the summed sampling-phase execution times plus a thread count.
+// The average per core type is sum/count. A separate counter tracks how many
+// threads have completed the sampling phase so the last one can be detected
+// without locks.
+type SampleCounters struct {
+	sumNs  []atomic.Int64
+	counts []atomic.Int64
+	done   atomic.Int64
+	total  int64
+}
+
+// NewSampleCounters returns counters for nCoreTypes core types and nThreads
+// participating threads. Both must be positive.
+func NewSampleCounters(nCoreTypes int, nThreads int) *SampleCounters {
+	if nCoreTypes <= 0 {
+		panic(fmt.Sprintf("pool: non-positive core type count %d", nCoreTypes))
+	}
+	if nThreads <= 0 {
+		panic(fmt.Sprintf("pool: non-positive thread count %d", nThreads))
+	}
+	return &SampleCounters{
+		sumNs:  make([]atomic.Int64, nCoreTypes),
+		counts: make([]atomic.Int64, nCoreTypes),
+		total:  int64(nThreads),
+	}
+}
+
+// Record adds one thread's sampling-phase completion time (in ns) for its
+// core type and marks the thread as done. It returns true when the calling
+// thread was the LAST one to complete the sampling phase — that thread is
+// responsible for computing SF and k (Fig. 3).
+func (sc *SampleCounters) Record(coreType int, elapsedNs int64) (last bool) {
+	sc.sumNs[coreType].Add(elapsedNs)
+	sc.counts[coreType].Add(1)
+	return sc.done.Add(1) == sc.total
+}
+
+// AllDone reports whether every participating thread has recorded a sample.
+func (sc *SampleCounters) AllDone() bool { return sc.done.Load() >= sc.total }
+
+// Avg returns the average sampling time for a core type in ns, and ok=false
+// when no thread of that type recorded a sample.
+func (sc *SampleCounters) Avg(coreType int) (float64, bool) {
+	n := sc.counts[coreType].Load()
+	if n == 0 {
+		return 0, false
+	}
+	return float64(sc.sumNs[coreType].Load()) / float64(n), true
+}
+
+// Reset re-arms the counters for a new sampling round (used by AID-dynamic,
+// whose AID phases each double as the next sampling phase, Fig. 5).
+func (sc *SampleCounters) Reset() {
+	for i := range sc.sumNs {
+		sc.sumNs[i].Store(0)
+		sc.counts[i].Store(0)
+	}
+	sc.done.Store(0)
+}

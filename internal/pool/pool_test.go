@@ -1,0 +1,355 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWorkShare(t *testing.T) {
+	ws := NewWorkShare(100)
+	if ws.End() != 100 || ws.Next() != 0 || ws.Remaining() != 100 {
+		t.Errorf("fresh pool: end=%d next=%d rem=%d", ws.End(), ws.Next(), ws.Remaining())
+	}
+}
+
+func TestNewWorkShareNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorkShare(-1) did not panic")
+		}
+	}()
+	NewWorkShare(-1)
+}
+
+func TestTryStealSequential(t *testing.T) {
+	ws := NewWorkShare(10)
+	lo, hi, ok := ws.TrySteal(4)
+	if !ok || lo != 0 || hi != 4 {
+		t.Fatalf("first steal: [%d,%d) ok=%v", lo, hi, ok)
+	}
+	lo, hi, ok = ws.TrySteal(4)
+	if !ok || lo != 4 || hi != 8 {
+		t.Fatalf("second steal: [%d,%d) ok=%v", lo, hi, ok)
+	}
+	// Final steal is clipped at end.
+	lo, hi, ok = ws.TrySteal(4)
+	if !ok || lo != 8 || hi != 10 {
+		t.Fatalf("clipped steal: [%d,%d) ok=%v", lo, hi, ok)
+	}
+	if _, _, ok := ws.TrySteal(4); ok {
+		t.Error("steal from drained pool succeeded")
+	}
+	if ws.Remaining() != 0 {
+		t.Errorf("Remaining after drain = %d", ws.Remaining())
+	}
+}
+
+func TestTryStealZeroChunkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TrySteal(0) did not panic")
+		}
+	}()
+	NewWorkShare(10).TrySteal(0)
+}
+
+func TestEmptyLoop(t *testing.T) {
+	ws := NewWorkShare(0)
+	if _, _, ok := ws.TrySteal(1); ok {
+		t.Error("steal from empty loop succeeded")
+	}
+	if ws.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", ws.Remaining())
+	}
+}
+
+func TestTryStealRest(t *testing.T) {
+	ws := NewWorkShare(100)
+	ws.TrySteal(30)
+	lo, hi, ok := ws.TryStealRest()
+	if !ok || lo != 30 || hi != 100 {
+		t.Fatalf("TryStealRest: [%d,%d) ok=%v", lo, hi, ok)
+	}
+	if _, _, ok := ws.TryStealRest(); ok {
+		t.Error("TryStealRest on drained pool succeeded")
+	}
+}
+
+// TestConcurrentStealExactCoverage is the core lock-freedom invariant: under
+// heavy concurrency every iteration is claimed exactly once and nothing is
+// lost or duplicated.
+func TestConcurrentStealExactCoverage(t *testing.T) {
+	const (
+		ni      = 100000
+		workers = 16
+	)
+	ws := NewWorkShare(ni)
+	var mu sync.Mutex
+	claimed := make([]int32, ni)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		chunk := int64(1 + w%7) // mixed chunk sizes
+		go func() {
+			defer wg.Done()
+			local := make([][2]int64, 0, ni/workers)
+			for {
+				lo, hi, ok := ws.TrySteal(chunk)
+				if !ok {
+					break
+				}
+				local = append(local, [2]int64{lo, hi})
+			}
+			mu.Lock()
+			for _, r := range local {
+				for i := r[0]; i < r[1]; i++ {
+					claimed[i]++
+				}
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for i, c := range claimed {
+		if c != 1 {
+			t.Fatalf("iteration %d claimed %d times", i, c)
+		}
+	}
+}
+
+func TestConcurrentStealRestRace(t *testing.T) {
+	// TryStealRest racing against TrySteal must still yield exact coverage.
+	const ni = 50000
+	ws := NewWorkShare(ni)
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		rest := w%4 == 0
+		go func() {
+			defer wg.Done()
+			sum := int64(0)
+			for {
+				var lo, hi int64
+				var ok bool
+				if rest {
+					lo, hi, ok = ws.TryStealRest()
+				} else {
+					lo, hi, ok = ws.TrySteal(3)
+				}
+				if !ok {
+					break
+				}
+				sum += hi - lo
+			}
+			mu.Lock()
+			total += sum
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total != ni {
+		t.Errorf("claimed %d iterations total, want %d", total, ni)
+	}
+}
+
+func TestStealCoverageProperty(t *testing.T) {
+	// For any (ni, chunk), repeated stealing covers [0,ni) exactly, in order.
+	f := func(niRaw uint16, chunkRaw uint8) bool {
+		ni := int64(niRaw % 5000)
+		chunk := int64(chunkRaw%64) + 1
+		ws := NewWorkShare(ni)
+		var cursor int64
+		for {
+			lo, hi, ok := ws.TrySteal(chunk)
+			if !ok {
+				break
+			}
+			if lo != cursor || hi <= lo || hi > ni {
+				return false
+			}
+			cursor = hi
+		}
+		return cursor == ni
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTryStealFuncGuidedShape(t *testing.T) {
+	// Guided with 4 threads: chunk sizes decrease as the pool drains.
+	ws := NewWorkShare(1000)
+	sizeOf := func(rem int64) int64 {
+		s := rem / 4
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	var sizes []int64
+	cursor := int64(0)
+	for {
+		lo, hi, ok, _ := ws.TryStealFunc(sizeOf)
+		if !ok {
+			break
+		}
+		if lo != cursor {
+			t.Fatalf("non-contiguous guided steal: lo=%d want %d", lo, cursor)
+		}
+		cursor = hi
+		sizes = append(sizes, hi-lo)
+	}
+	if cursor != 1000 {
+		t.Fatalf("guided coverage ended at %d", cursor)
+	}
+	if sizes[0] != 250 {
+		t.Errorf("first guided chunk = %d, want 250", sizes[0])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Errorf("guided chunk grew: %d -> %d at %d", sizes[i-1], sizes[i], i)
+		}
+	}
+	if last := sizes[len(sizes)-1]; last != 1 {
+		t.Errorf("last guided chunk = %d, want 1", last)
+	}
+}
+
+func TestTryStealFuncConcurrent(t *testing.T) {
+	const ni = 40000
+	ws := NewWorkShare(ni)
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum := int64(0)
+			for {
+				lo, hi, ok, _ := ws.TryStealFunc(func(rem int64) int64 {
+					s := rem / 8
+					if s < 1 {
+						s = 1
+					}
+					return s
+				})
+				if !ok {
+					break
+				}
+				sum += hi - lo
+			}
+			mu.Lock()
+			total += sum
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total != ni {
+		t.Errorf("claimed %d, want %d", total, ni)
+	}
+}
+
+func TestTryStealFuncBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TryStealFunc with zero size did not panic")
+		}
+	}()
+	NewWorkShare(10).TryStealFunc(func(int64) int64 { return 0 })
+}
+
+func TestSampleCounters(t *testing.T) {
+	sc := NewSampleCounters(2, 4)
+	if sc.AllDone() {
+		t.Error("fresh counters report AllDone")
+	}
+	if last := sc.Record(0, 100); last {
+		t.Error("first Record reported last")
+	}
+	if last := sc.Record(0, 300); last {
+		t.Error("second Record reported last")
+	}
+	if last := sc.Record(1, 800); last {
+		t.Error("third Record reported last")
+	}
+	if last := sc.Record(1, 1200); !last {
+		t.Error("fourth Record did not report last")
+	}
+	if !sc.AllDone() {
+		t.Error("AllDone false after all records")
+	}
+	if avg, ok := sc.Avg(0); !ok || avg != 200 {
+		t.Errorf("Avg(0) = %v, %v; want 200, true", avg, ok)
+	}
+	if avg, ok := sc.Avg(1); !ok || avg != 1000 {
+		t.Errorf("Avg(1) = %v, %v; want 1000, true", avg, ok)
+	}
+}
+
+func TestSampleCountersEmptyType(t *testing.T) {
+	sc := NewSampleCounters(3, 2)
+	sc.Record(0, 10)
+	sc.Record(0, 20)
+	if _, ok := sc.Avg(2); ok {
+		t.Error("Avg for unused core type reported ok")
+	}
+}
+
+func TestSampleCountersReset(t *testing.T) {
+	sc := NewSampleCounters(2, 2)
+	sc.Record(0, 50)
+	sc.Record(1, 70)
+	sc.Reset()
+	if sc.AllDone() {
+		t.Error("AllDone true after Reset")
+	}
+	if _, ok := sc.Avg(0); ok {
+		t.Error("Avg(0) ok after Reset")
+	}
+	// Counters are reusable for the next AID-dynamic phase.
+	sc.Record(0, 10)
+	if last := sc.Record(1, 10); !last {
+		t.Error("Record after Reset did not detect last thread")
+	}
+}
+
+func TestSampleCountersConcurrentExactlyOneLast(t *testing.T) {
+	const threads = 32
+	sc := NewSampleCounters(2, threads)
+	var lastCount int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		ct := i % 2
+		go func() {
+			defer wg.Done()
+			if sc.Record(ct, 17) {
+				mu.Lock()
+				lastCount++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if lastCount != 1 {
+		t.Errorf("%d threads observed themselves as last, want exactly 1", lastCount)
+	}
+}
+
+func TestSampleCountersValidation(t *testing.T) {
+	for _, c := range []struct{ types, threads int }{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSampleCounters(%d,%d) did not panic", c.types, c.threads)
+				}
+			}()
+			NewSampleCounters(c.types, c.threads)
+		}()
+	}
+}

@@ -1,0 +1,351 @@
+// Package rt is the user-facing runtime of the reproduction — the analog of
+// libgomp as the paper modified it. It provides:
+//
+//   - Schedule: a parsed loop-schedule selection (method + parameters),
+//     configurable programmatically or through environment variables that
+//     mirror the paper's setup (§4.1): GOOMP_SCHEDULE plays the role of
+//     OMP_SCHEDULE (the modified GCC defaults every loop to the `runtime`
+//     schedule, so this variable governs all loops), and GOOMP_AMP_AFFINITY
+//     selects the SB/BS thread-to-core binding convention like
+//     GOMP_AMP_AFFINITY does in the paper (§4.3).
+//   - Team: a real-goroutine executor with per-worker speed throttling that
+//     emulates big/small cores, used by the runnable examples. Go offers no
+//     thread-to-core affinity, so wall-clock fidelity is limited; the
+//     discrete-event engine (internal/sim) carries the paper's evaluation,
+//     while Team demonstrates the schedulers as real concurrent code.
+package rt
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/amp"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Kind enumerates the loop-scheduling methods.
+type Kind int
+
+const (
+	// KindStatic is OpenMP static (even contiguous blocks, compiled in).
+	KindStatic Kind = iota
+	// KindStaticChunked is OpenMP static,chunk (round-robin blocks).
+	KindStaticChunked
+	// KindDynamic is OpenMP dynamic,chunk.
+	KindDynamic
+	// KindGuided is OpenMP guided,chunk.
+	KindGuided
+	// KindAIDStatic is the paper's AID-static (§4.2, Fig. 3).
+	KindAIDStatic
+	// KindAIDHybrid is the paper's AID-hybrid (§4.2).
+	KindAIDHybrid
+	// KindAIDDynamic is the paper's AID-dynamic (§4.2, Fig. 5).
+	KindAIDDynamic
+	// KindAIDAuto is the §6 future-work extension implemented here: per
+	// loop, the sampling phase classifies iteration costs as uniform or
+	// irregular and picks the AID-hybrid or AID-dynamic treatment.
+	KindAIDAuto
+	// KindWorkSteal is the work-stealing alternative of §4.3: an even
+	// initial split with back-half stealing from the most-loaded victim.
+	KindWorkSteal
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindStatic:
+		return "static"
+	case KindStaticChunked:
+		return "static-chunked"
+	case KindDynamic:
+		return "dynamic"
+	case KindGuided:
+		return "guided"
+	case KindAIDStatic:
+		return "aid-static"
+	case KindAIDHybrid:
+		return "aid-hybrid"
+	case KindAIDDynamic:
+		return "aid-dynamic"
+	case KindAIDAuto:
+		return "aid-auto"
+	case KindWorkSteal:
+		return "work-steal"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Schedule is a fully parameterized loop-schedule selection.
+type Schedule struct {
+	Kind Kind
+	// Chunk is the dynamic/guided/static chunk, or the AID sampling chunk
+	// (the minor chunk m for AID-dynamic). Defaults to 1 where it applies.
+	Chunk int64
+	// Major is AID-dynamic's Major chunk M (default 5, the paper's setting).
+	Major int64
+	// Pct is AID-hybrid's asymmetric share (default 0.80 per §5B).
+	Pct float64
+	// OfflineSF, when non-nil, turns AID-static into the
+	// AID-static(offline-SF) variant of §5C with the given per-core-type
+	// speedup factors.
+	OfflineSF []float64
+}
+
+// withDefaults fills unset parameters with the paper's defaults.
+func (s Schedule) withDefaults() Schedule {
+	if s.Chunk == 0 {
+		s.Chunk = 1
+	}
+	if s.Major == 0 {
+		s.Major = 5
+	}
+	if s.Pct == 0 {
+		s.Pct = 0.80
+	}
+	return s
+}
+
+// String renders the schedule in the paper's notation, e.g. "dynamic/4" or
+// "AID-dynamic/1,5".
+func (s Schedule) String() string {
+	d := s.withDefaults()
+	switch s.Kind {
+	case KindStatic:
+		return "static"
+	case KindStaticChunked:
+		return fmt.Sprintf("static/%d", d.Chunk)
+	case KindDynamic:
+		return fmt.Sprintf("dynamic/%d", d.Chunk)
+	case KindGuided:
+		return fmt.Sprintf("guided/%d", d.Chunk)
+	case KindAIDStatic:
+		if s.OfflineSF != nil {
+			return "AID-static(offline-SF)"
+		}
+		return "AID-static"
+	case KindAIDHybrid:
+		return fmt.Sprintf("AID-hybrid(%d%%)", int(d.Pct*100+0.5))
+	case KindAIDDynamic:
+		return fmt.Sprintf("AID-dynamic/%d,%d", d.Chunk, d.Major)
+	case KindAIDAuto:
+		return fmt.Sprintf("AID-auto/%d,%d", d.Chunk, d.Major)
+	case KindWorkSteal:
+		return fmt.Sprintf("work-steal/%d", d.Chunk)
+	}
+	return s.Kind.String()
+}
+
+// Factory returns a scheduler factory for the simulator or the Team
+// executor.
+func (s Schedule) Factory() sim.SchedulerFactory {
+	d := s.withDefaults()
+	return func(info core.LoopInfo) (core.Scheduler, error) {
+		switch d.Kind {
+		case KindStatic:
+			return core.NewStatic(info)
+		case KindStaticChunked:
+			return core.NewStaticChunked(info, d.Chunk)
+		case KindDynamic:
+			return core.NewDynamic(info, d.Chunk)
+		case KindGuided:
+			return core.NewGuided(info, d.Chunk)
+		case KindAIDStatic:
+			if d.OfflineSF != nil {
+				return core.NewAIDStaticOffline(info, d.Chunk, d.OfflineSF)
+			}
+			return core.NewAIDStatic(info, d.Chunk)
+		case KindAIDHybrid:
+			return core.NewAIDHybrid(info, d.Chunk, d.Pct)
+		case KindAIDDynamic:
+			return core.NewAIDDynamic(info, d.Chunk, d.Major)
+		case KindAIDAuto:
+			return core.NewAIDAuto(info, d.Chunk, d.Pct, d.Major, 0)
+		case KindWorkSteal:
+			return core.NewWorkSteal(info, d.Chunk)
+		}
+		return nil, fmt.Errorf("rt: unknown schedule kind %d", int(d.Kind))
+	}
+}
+
+// ParseSchedule parses the GOOMP_SCHEDULE syntax. Accepted forms (method
+// names are case-insensitive; parameters follow after commas):
+//
+//	static            static,<chunk>
+//	dynamic           dynamic,<chunk>
+//	guided            guided,<chunk>
+//	aid-static        aid-static,<chunk>
+//	aid-hybrid        aid-hybrid,<pct>          (pct in percent, e.g. 80)
+//	aid-dynamic       aid-dynamic,<m>,<M>
+//	aid-auto          aid-auto,<m>,<M>
+//	work-steal        work-steal,<chunk>
+func ParseSchedule(text string) (Schedule, error) {
+	parts := strings.Split(strings.TrimSpace(text), ",")
+	name := strings.ToLower(strings.TrimSpace(parts[0]))
+	args := parts[1:]
+	argN := func(i int) (int64, error) {
+		v, err := strconv.ParseInt(strings.TrimSpace(args[i]), 10, 64)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("rt: bad schedule parameter %q in %q", args[i], text)
+		}
+		return v, nil
+	}
+	var s Schedule
+	switch name {
+	case "static":
+		s.Kind = KindStatic
+		if len(args) == 1 {
+			c, err := argN(0)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.Kind = KindStaticChunked
+			s.Chunk = c
+		} else if len(args) > 1 {
+			return Schedule{}, fmt.Errorf("rt: too many parameters in %q", text)
+		}
+	case "dynamic", "guided":
+		s.Kind = KindDynamic
+		if name == "guided" {
+			s.Kind = KindGuided
+		}
+		if len(args) > 1 {
+			return Schedule{}, fmt.Errorf("rt: too many parameters in %q", text)
+		}
+		if len(args) == 1 {
+			c, err := argN(0)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.Chunk = c
+		}
+	case "aid-static":
+		s.Kind = KindAIDStatic
+		if len(args) > 1 {
+			return Schedule{}, fmt.Errorf("rt: too many parameters in %q", text)
+		}
+		if len(args) == 1 {
+			c, err := argN(0)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.Chunk = c
+		}
+	case "aid-hybrid":
+		s.Kind = KindAIDHybrid
+		if len(args) > 1 {
+			return Schedule{}, fmt.Errorf("rt: too many parameters in %q", text)
+		}
+		if len(args) == 1 {
+			p, err := argN(0)
+			if err != nil {
+				return Schedule{}, err
+			}
+			if p > 100 {
+				return Schedule{}, fmt.Errorf("rt: AID-hybrid percentage %d out of (0,100]", p)
+			}
+			s.Pct = float64(p) / 100
+		}
+	case "work-steal":
+		s.Kind = KindWorkSteal
+		if len(args) > 1 {
+			return Schedule{}, fmt.Errorf("rt: too many parameters in %q", text)
+		}
+		if len(args) == 1 {
+			c, err := argN(0)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.Chunk = c
+		}
+	case "aid-auto":
+		s.Kind = KindAIDAuto
+		if len(args) > 2 {
+			return Schedule{}, fmt.Errorf("rt: too many parameters in %q", text)
+		}
+		if len(args) >= 1 {
+			m, err := argN(0)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.Chunk = m
+		}
+		if len(args) == 2 {
+			mm, err := argN(1)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.Major = mm
+		}
+	case "aid-dynamic":
+		s.Kind = KindAIDDynamic
+		if len(args) > 2 {
+			return Schedule{}, fmt.Errorf("rt: too many parameters in %q", text)
+		}
+		if len(args) >= 1 {
+			m, err := argN(0)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.Chunk = m
+		}
+		if len(args) == 2 {
+			mm, err := argN(1)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.Major = mm
+		}
+	default:
+		return Schedule{}, fmt.Errorf("rt: unknown schedule %q", name)
+	}
+	return s, nil
+}
+
+// Env variable names, mirroring the paper's configuration surface.
+const (
+	// EnvSchedule selects the schedule applied to every parallel loop
+	// (the paper's OMP_SCHEDULE under the modified compiler, §4.1).
+	EnvSchedule = "GOOMP_SCHEDULE"
+	// EnvAffinity selects the SB or BS binding convention (the paper's
+	// GOMP_AMP_AFFINITY, §4.3).
+	EnvAffinity = "GOOMP_AMP_AFFINITY"
+	// EnvNThreads sets the worker count (OMP_NUM_THREADS).
+	EnvNThreads = "GOOMP_NUM_THREADS"
+)
+
+// FromEnv reads the runtime configuration from the environment, with the
+// given fall-backs for unset variables. It returns the schedule, binding and
+// thread count.
+func FromEnv(defSched Schedule, defBind amp.Binding, defThreads int) (Schedule, amp.Binding, int, error) {
+	sched := defSched
+	if v := os.Getenv(EnvSchedule); v != "" {
+		s, err := ParseSchedule(v)
+		if err != nil {
+			return Schedule{}, 0, 0, err
+		}
+		sched = s
+	}
+	bind := defBind
+	if v := os.Getenv(EnvAffinity); v != "" {
+		switch strings.ToUpper(strings.TrimSpace(v)) {
+		case "SB":
+			bind = amp.BindSB
+		case "BS":
+			bind = amp.BindBS
+		default:
+			return Schedule{}, 0, 0, fmt.Errorf("rt: %s must be SB or BS, got %q", EnvAffinity, v)
+		}
+	}
+	n := defThreads
+	if v := os.Getenv(EnvNThreads); v != "" {
+		parsed, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || parsed <= 0 {
+			return Schedule{}, 0, 0, fmt.Errorf("rt: bad %s value %q", EnvNThreads, v)
+		}
+		n = parsed
+	}
+	return sched, bind, n, nil
+}

@@ -1,0 +1,168 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/amp"
+	"repro/internal/core"
+)
+
+// Team executes parallel loops with real goroutines, one worker per modeled
+// CPU, emulating core asymmetry by throttling "small-core" workers: after
+// executing a chunk for d nanoseconds, a worker on a core with slowdown
+// factor f busy-waits for d·(f−1), so its effective throughput is 1/f of an
+// unthrottled worker. The schedulers observe genuine wall-clock completion
+// times and genuinely concurrent pool accesses, so this executor validates
+// the runtime as real parallel code (the simulator validates the
+// performance model).
+type Team struct {
+	platform *amp.Platform
+	nthreads int
+	binding  amp.Binding
+	schedule Schedule
+	slowdown []float64 // per thread, >= 1
+	base     time.Time
+}
+
+// TeamConfig configures NewTeam.
+type TeamConfig struct {
+	// Platform provides the topology and the per-core slowdown factors;
+	// defaults to Platform A.
+	Platform *amp.Platform
+	// NThreads defaults to the platform core count.
+	NThreads int
+	// Binding defaults to BS (the convention all AID variants assume).
+	Binding amp.Binding
+	// Schedule defaults to AID-static.
+	Schedule Schedule
+	// Profile is the instruction mix used to derive emulated slowdown
+	// factors from the platform model; the zero value is a moderate mix.
+	Profile amp.Profile
+}
+
+// NewTeam builds a team of workers.
+func NewTeam(cfg TeamConfig) (*Team, error) {
+	if cfg.Platform == nil {
+		cfg.Platform = amp.PlatformA()
+	}
+	if cfg.NThreads == 0 {
+		cfg.NThreads = cfg.Platform.NumCores()
+	}
+	if cfg.NThreads < 0 || cfg.NThreads > cfg.Platform.NumCores() {
+		return nil, fmt.Errorf("rt: thread count %d out of range [1,%d]", cfg.NThreads, cfg.Platform.NumCores())
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Team{
+		platform: cfg.Platform,
+		nthreads: cfg.NThreads,
+		binding:  cfg.Binding,
+		schedule: cfg.Schedule,
+		slowdown: make([]float64, cfg.NThreads),
+		base:     time.Now(),
+	}
+	// Derive each worker's slowdown from the platform speed model: the
+	// fastest core type runs unthrottled; others are throttled by the
+	// speed ratio.
+	fastest := 0.0
+	speeds := make([]float64, cfg.NThreads)
+	for tid := 0; tid < cfg.NThreads; tid++ {
+		cpu := cfg.Platform.CoreOf(tid, cfg.NThreads, cfg.Binding)
+		speeds[tid] = cfg.Platform.Speed(cpu, cfg.Profile, 1)
+		if speeds[tid] > fastest {
+			fastest = speeds[tid]
+		}
+	}
+	for tid := range speeds {
+		t.slowdown[tid] = fastest / speeds[tid]
+	}
+	return t, nil
+}
+
+// NThreads returns the worker count.
+func (t *Team) NThreads() int { return t.nthreads }
+
+// Schedule returns the team's configured schedule.
+func (t *Team) Schedule() Schedule { return t.schedule }
+
+// Slowdown returns worker tid's emulated slowdown factor (1 = big core).
+func (t *Team) Slowdown(tid int) float64 { return t.slowdown[tid] }
+
+// now returns monotonic nanoseconds since team creation.
+func (t *Team) now() int64 { return int64(time.Since(t.base)) }
+
+// throttle busy-waits to stretch a chunk that took execNs to the duration it
+// would have taken on a core slower by factor f.
+func throttle(execNs int64, f float64) {
+	if f <= 1 {
+		return
+	}
+	extra := time.Duration(float64(execNs) * (f - 1))
+	deadline := time.Now().Add(extra)
+	for time.Now().Before(deadline) {
+		// Busy wait, as a pinned thread on a slow core would keep its core
+		// busy. The loop body is intentionally empty.
+	}
+}
+
+// loopInfo builds the scheduler-facing loop description.
+func (t *Team) loopInfo(n int64) core.LoopInfo {
+	return core.LoopInfo{
+		NI:       n,
+		NThreads: t.nthreads,
+		NumTypes: len(t.platform.Clusters),
+		TypeOf: func(tid int) int {
+			return t.platform.ClusterOf(t.platform.CoreOf(tid, t.nthreads, t.binding))
+		},
+	}
+}
+
+// ParallelFor executes body(i) for every i in [0, n) across the team's
+// workers under the team's schedule, blocking until the implicit barrier
+// releases (all iterations done). It corresponds to `#pragma omp parallel
+// for schedule(runtime)` under the paper's modified compiler.
+func (t *Team) ParallelFor(n int64, body func(i int64)) error {
+	return t.ParallelForChunked(n, func(lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ParallelForChunked is ParallelFor for bodies that prefer whole chunks
+// (e.g. to vectorize or batch). body must process exactly [lo, hi).
+func (t *Team) ParallelForChunked(n int64, body func(lo, hi int64)) error {
+	if n < 0 {
+		return fmt.Errorf("rt: negative trip count %d", n)
+	}
+	sched, err := t.schedule.Factory()(t.loopInfo(n))
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for tid := 0; tid < t.nthreads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			f := t.slowdown[tid]
+			for {
+				asg, ok := sched.Next(tid, t.now())
+				if !ok {
+					return
+				}
+				start := time.Now()
+				body(asg.Lo, asg.Hi)
+				throttle(int64(time.Since(start)), f)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	return nil
+}
+
+// Serial runs f on the calling goroutine, corresponding to code between
+// parallel loops (executed by the master thread).
+func (t *Team) Serial(f func()) { f() }

@@ -1,0 +1,64 @@
+package sim
+
+// BlockNoisyCost models loops whose per-iteration cost is uneven at a
+// coarse granularity: contiguous blocks of BlockLen iterations share a cost
+// drawn deterministically from the block index. This is the cost structure
+// that makes dynamic scheduling genuinely beneficial (FT, leukocyte,
+// heartwall in §5A): with fine-grained i.i.d. noise the per-thread block
+// sums of a static distribution would even out by the law of large numbers,
+// but block-correlated cost leaves static with real imbalance even on a
+// symmetric machine.
+//
+// The block multiplier is 1 + Amp·u³ where u ∈ [0,1) is a hash of the block
+// index and Seed; cubing skews the distribution so most blocks are cheap and
+// a few are expensive (a heavy-ish tail, as in image-processing workloads
+// whose cost depends on local content).
+type BlockNoisyCost struct {
+	// Base is the cost of an iteration in a multiplier-1 block.
+	Base float64
+	// Amp scales the block-to-block variation (e.g. 3 = up to 4x Base).
+	Amp float64
+	// BlockLen is the run length of equal-cost iterations (must be > 0).
+	BlockLen int64
+	// Seed decorrelates different loops of the same workload.
+	Seed uint64
+}
+
+// mix64 is the SplitMix64 finalizer, used as a stateless hash.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// blockMul returns the cost multiplier of block b.
+func (c BlockNoisyCost) blockMul(b int64) float64 {
+	u := float64(mix64(uint64(b)^c.Seed)>>11) / (1 << 53)
+	return 1 + c.Amp*u*u*u
+}
+
+// Units implements CostModel.
+func (c BlockNoisyCost) Units(i int64) float64 {
+	return c.Base * c.blockMul(i/c.BlockLen)
+}
+
+// RangeUnits implements CostModel in O(blocks-in-range) time.
+func (c BlockNoisyCost) RangeUnits(lo, hi int64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	sum := 0.0
+	for b := lo / c.BlockLen; b*c.BlockLen < hi; b++ {
+		blockLo := b * c.BlockLen
+		blockHi := blockLo + c.BlockLen
+		if blockLo < lo {
+			blockLo = lo
+		}
+		if blockHi > hi {
+			blockHi = hi
+		}
+		sum += float64(blockHi-blockLo) * c.Base * c.blockMul(b)
+	}
+	return sum
+}

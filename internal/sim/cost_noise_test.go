@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockNoisyCostBlockStructure(t *testing.T) {
+	c := BlockNoisyCost{Base: 100, Amp: 3, BlockLen: 50, Seed: 7}
+	// All iterations within a block cost the same.
+	for i := int64(0); i < 50; i++ {
+		if c.Units(i) != c.Units(0) {
+			t.Fatalf("cost varies inside block: Units(%d)=%v Units(0)=%v", i, c.Units(i), c.Units(0))
+		}
+	}
+	// Across many blocks, at least some variation must appear.
+	varied := false
+	for b := int64(1); b < 20; b++ {
+		if c.Units(b*50) != c.Units(0) {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("no block-to-block variation in 20 blocks")
+	}
+}
+
+func TestBlockNoisyCostBounds(t *testing.T) {
+	c := BlockNoisyCost{Base: 100, Amp: 3, BlockLen: 10, Seed: 1}
+	for i := int64(0); i < 1000; i++ {
+		u := c.Units(i)
+		if u < 100 || u > 400 {
+			t.Fatalf("Units(%d) = %v outside [Base, Base*(1+Amp)]", i, u)
+		}
+	}
+}
+
+func TestBlockNoisyCostRangeMatchesSum(t *testing.T) {
+	prop := func(loRaw uint16, nRaw uint8, blockRaw uint8, seed uint16) bool {
+		lo := int64(loRaw % 2000)
+		hi := lo + int64(nRaw)
+		c := BlockNoisyCost{
+			Base:     50,
+			Amp:      2.5,
+			BlockLen: int64(blockRaw%30) + 1,
+			Seed:     uint64(seed),
+		}
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += c.Units(i)
+		}
+		return math.Abs(c.RangeUnits(lo, hi)-sum) < 1e-6*(1+sum)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockNoisyCostEmptyRange(t *testing.T) {
+	c := BlockNoisyCost{Base: 10, Amp: 1, BlockLen: 5, Seed: 0}
+	if got := c.RangeUnits(10, 10); got != 0 {
+		t.Errorf("empty range = %v", got)
+	}
+	if got := c.RangeUnits(10, 5); got != 0 {
+		t.Errorf("inverted range = %v", got)
+	}
+}
+
+func TestBlockNoisyCostSeedsDiffer(t *testing.T) {
+	a := BlockNoisyCost{Base: 10, Amp: 3, BlockLen: 5, Seed: 1}
+	b := BlockNoisyCost{Base: 10, Amp: 3, BlockLen: 5, Seed: 2}
+	same := 0
+	for blk := int64(0); blk < 50; blk++ {
+		if a.Units(blk*5) == b.Units(blk*5) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("seeds produce %d/50 identical blocks", same)
+	}
+}
+
+func TestBlockNoisyCostMakesStaticImbalanced(t *testing.T) {
+	// The design goal: a static 8-way split of a block-noisy loop has
+	// measurably uneven per-thread sums.
+	c := BlockNoisyCost{Base: 100, Amp: 3, BlockLen: 500, Seed: 42}
+	const ni = 32000
+	sums := make([]float64, 8)
+	per := int64(ni / 8)
+	for tid := int64(0); tid < 8; tid++ {
+		sums[tid] = c.RangeUnits(tid*per, (tid+1)*per)
+	}
+	mn, mx := sums[0], sums[0]
+	for _, s := range sums[1:] {
+		mn = math.Min(mn, s)
+		mx = math.Max(mx, s)
+	}
+	if (mx-mn)/mx < 0.05 {
+		t.Errorf("static split too balanced: spread %.3f%%", 100*(mx-mn)/mx)
+	}
+}

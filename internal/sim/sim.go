@@ -1,0 +1,384 @@
+// Package sim is the discrete-event execution engine of the reproduction:
+// it runs OpenMP-style programs (sequences of serial phases and parallel
+// loops) on a modeled asymmetric multicore platform in virtual time.
+//
+// Substituting simulation for the paper's physical testbeds is the central
+// reproduction decision (see DESIGN.md): Go cannot pin OS threads to cores
+// of chosen types, but every phenomenon the paper studies is a function of
+// (a) per-loop big/small speed ratios and (b) runtime overhead per
+// iteration-pool access — both first-class quantities in this model. The
+// virtual clock has nanosecond resolution and the engine is fully
+// deterministic: the same configuration always yields the same trace.
+//
+// One simulated worker thread is bound to each platform CPU according to
+// the SB/BS convention (§5). Worker execution interleaves through a
+// earliest-clock-first event loop; each scheduler invocation is charged the
+// platform's pool-access, contention, timestamp and locality costs, and each
+// chunk's execution time follows the platform speed model for the loop's
+// instruction-mix profile.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/amp"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// CostModel gives the computational weight of loop iterations in abstract
+// work units (1 unit ≈ 1 instruction of the modeled ISA).
+type CostModel interface {
+	// Units returns the cost of iteration i.
+	Units(i int64) float64
+	// RangeUnits returns the summed cost of iterations [lo, hi). It must
+	// equal the sum of Units over the range; implementations provide
+	// closed-form versions where possible because the simulator calls it
+	// for every chunk.
+	RangeUnits(lo, hi int64) float64
+}
+
+// UniformCost models loops whose iterations all cost the same (e.g. EP).
+type UniformCost struct {
+	PerIter float64
+}
+
+// Units implements CostModel.
+func (u UniformCost) Units(int64) float64 { return u.PerIter }
+
+// RangeUnits implements CostModel.
+func (u UniformCost) RangeUnits(lo, hi int64) float64 { return float64(hi-lo) * u.PerIter }
+
+// LinearCost models loops whose cost drifts linearly with the iteration
+// index: Units(i) = Base + Slope·i. particlefilter's long-running loop —
+// whose final iterations are the heaviest (§5A) — uses a positive slope.
+type LinearCost struct {
+	Base, Slope float64
+}
+
+// Units implements CostModel.
+func (l LinearCost) Units(i int64) float64 { return l.Base + l.Slope*float64(i) }
+
+// RangeUnits implements CostModel (closed form).
+func (l LinearCost) RangeUnits(lo, hi int64) float64 {
+	n := float64(hi - lo)
+	// sum of indices lo..hi-1 = n*(lo+hi-1)/2
+	return l.Base*n + l.Slope*n*(float64(lo+hi-1))/2
+}
+
+// FuncCost wraps an arbitrary per-iteration cost function. RangeUnits is
+// computed by summation; prefer analytic models for very long loops.
+type FuncCost struct {
+	F func(i int64) float64
+}
+
+// Units implements CostModel.
+func (f FuncCost) Units(i int64) float64 { return f.F(i) }
+
+// RangeUnits implements CostModel.
+func (f FuncCost) RangeUnits(lo, hi int64) float64 {
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += f.F(i)
+	}
+	return sum
+}
+
+// LoopSpec describes one parallel loop.
+type LoopSpec struct {
+	// Name identifies the loop in reports (e.g. "ep-main").
+	Name string
+	// NI is the trip count.
+	NI int64
+	// Profile is the loop body's instruction mix, which determines the
+	// per-core-type speed (and therefore the loop's SF).
+	Profile amp.Profile
+	// Cost is the per-iteration work model.
+	Cost CostModel
+}
+
+// Validate checks the loop description.
+func (ls LoopSpec) Validate() error {
+	if ls.NI < 0 {
+		return fmt.Errorf("sim: loop %q has negative trip count %d", ls.Name, ls.NI)
+	}
+	if ls.Cost == nil {
+		return fmt.Errorf("sim: loop %q has no cost model", ls.Name)
+	}
+	return ls.Profile.Validate()
+}
+
+// SchedulerFactory builds a fresh scheduler for one execution of one loop.
+// Scheduler instances are single use, so the engine calls the factory for
+// every loop instance (and every repetition).
+type SchedulerFactory func(info core.LoopInfo) (core.Scheduler, error)
+
+// Config describes one simulated program execution.
+type Config struct {
+	// Platform is the modeled machine.
+	Platform *amp.Platform
+	// NThreads is the worker count (the paper runs one thread per core).
+	NThreads int
+	// Binding is the thread-to-core mapping convention (SB or BS).
+	Binding amp.Binding
+	// Factory builds the per-loop scheduler.
+	Factory SchedulerFactory
+	// FactoryNamed, when non-nil, takes precedence over Factory and also
+	// receives the loop's name, letting experiments key behaviour per loop
+	// (e.g. the per-loop offline-SF tables of §5C).
+	FactoryNamed func(loopName string, info core.LoopInfo) (core.Scheduler, error)
+	// Migrations lists OS-driven thread migrations to inject (§4.3). A
+	// migration takes effect the next time the affected thread enters the
+	// runtime system at or after AtNs — modeling the paper's proposal of a
+	// signal delivered to the process, observed at the next runtime call.
+	// Schedulers implementing core.Migratable are notified.
+	Migrations []Migration
+	// Trace, when non-nil, records per-thread timelines.
+	Trace *trace.Trace
+}
+
+// Migration is one OS-driven thread-to-core move.
+type Migration struct {
+	// AtNs is the earliest virtual time the migration can take effect.
+	AtNs int64
+	// Tid is the affected worker thread.
+	Tid int
+	// ToCPU is the destination CPU number.
+	ToCPU int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Platform == nil {
+		return fmt.Errorf("sim: nil platform")
+	}
+	if c.NThreads <= 0 || c.NThreads > c.Platform.NumCores() {
+		return fmt.Errorf("sim: thread count %d out of range [1,%d]", c.NThreads, c.Platform.NumCores())
+	}
+	if c.Factory == nil && c.FactoryNamed == nil {
+		return fmt.Errorf("sim: nil scheduler factory")
+	}
+	return nil
+}
+
+// buildScheduler invokes the configured factory for one loop execution.
+func (c Config) buildScheduler(loopName string, info core.LoopInfo) (core.Scheduler, error) {
+	if c.FactoryNamed != nil {
+		return c.FactoryNamed(loopName, info)
+	}
+	return c.Factory(info)
+}
+
+// LoopResult reports one loop execution.
+type LoopResult struct {
+	// Start and End are the fork time and the barrier-release time.
+	Start, End int64
+	// PoolAccesses counts shared-pool atomic operations across all threads.
+	PoolAccesses int64
+	// SchedNs is the total runtime-system time summed over threads.
+	SchedNs int64
+	// Iters is the per-thread count of executed iterations.
+	Iters []int64
+	// Finish is each thread's arrival time at the implicit barrier.
+	Finish []int64
+	// SchedulerName records which method ran the loop.
+	SchedulerName string
+}
+
+// loopInfo builds the scheduler-facing description of a loop under cfg.
+func loopInfo(cfg Config, ni int64) core.LoopInfo {
+	return core.LoopInfo{
+		NI:       ni,
+		NThreads: cfg.NThreads,
+		NumTypes: len(cfg.Platform.Clusters),
+		TypeOf: func(tid int) int {
+			return cfg.Platform.ClusterOf(cfg.Platform.CoreOf(tid, cfg.NThreads, cfg.Binding))
+		},
+	}
+}
+
+// RunLoop simulates one execution of the loop starting at startNs and
+// returns the result. The caller sequences loops and serial phases.
+func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return LoopResult{}, err
+	}
+	if err := spec.Validate(); err != nil {
+		return LoopResult{}, err
+	}
+	info := loopInfo(cfg, spec.NI)
+	sched, err := cfg.buildScheduler(spec.Name, info)
+	if err != nil {
+		return LoopResult{}, fmt.Errorf("sim: building scheduler for loop %q: %w", spec.Name, err)
+	}
+
+	pl := cfg.Platform
+	ov := pl.Overhead
+	res := LoopResult{
+		Start:         startNs,
+		Iters:         make([]int64, cfg.NThreads),
+		Finish:        make([]int64, cfg.NThreads),
+		SchedulerName: sched.Name(),
+	}
+
+	// Pre-resolve per-thread core, cluster, speed and cluster occupancy.
+	coreOf := make([]int, cfg.NThreads)
+	speed := make([]float64, cfg.NThreads)
+	activeInCluster := make([]int, len(pl.Clusters))
+	for tid := 0; tid < cfg.NThreads; tid++ {
+		coreOf[tid] = pl.CoreOf(tid, cfg.NThreads, cfg.Binding)
+		activeInCluster[pl.ClusterOf(coreOf[tid])]++
+	}
+	for tid := 0; tid < cfg.NThreads; tid++ {
+		cl := pl.ClusterOf(coreOf[tid])
+		speed[tid] = pl.Speed(coreOf[tid], spec.Profile, activeInCluster[cl])
+	}
+
+	// Fork: every thread pays the fork half of the fork/join cost.
+	forkNs := int64(ov.ForkJoinNs / 2)
+	clock := make([]int64, cfg.NThreads)
+	lastHi := make([]int64, cfg.NThreads)
+	active := make([]bool, cfg.NThreads)
+	for tid := range clock {
+		clock[tid] = startNs + forkNs
+		lastHi[tid] = -1
+		active[tid] = true
+		res.SchedNs += forkNs
+		if cfg.Trace != nil {
+			cfg.Trace.Add(tid, startNs, clock[tid], trace.Sched)
+		}
+	}
+
+	// Pending migrations, consumed in order per thread.
+	pending := append([]Migration(nil), cfg.Migrations...)
+	migratable, _ := sched.(core.Migratable)
+
+	activeCount := cfg.NThreads
+	for activeCount > 0 {
+		// Earliest-clock-first; ties resolve to the lowest thread ID, which
+		// keeps the simulation deterministic.
+		tid := -1
+		for i := 0; i < cfg.NThreads; i++ {
+			if active[i] && (tid == -1 || clock[i] < clock[tid]) {
+				tid = i
+			}
+		}
+		now := clock[tid]
+		// Deliver any due migration for this thread before it re-enters the
+		// runtime (the "signal observed at next runtime call" semantics).
+		for i := 0; i < len(pending); i++ {
+			mg := pending[i]
+			if mg.Tid != tid || mg.AtNs > now {
+				continue
+			}
+			if mg.ToCPU < 0 || mg.ToCPU >= pl.NumCores() {
+				return LoopResult{}, fmt.Errorf("sim: migration to invalid CPU %d", mg.ToCPU)
+			}
+			oldCluster := pl.ClusterOf(coreOf[tid])
+			newCluster := pl.ClusterOf(mg.ToCPU)
+			coreOf[tid] = mg.ToCPU
+			if oldCluster != newCluster {
+				activeInCluster[oldCluster]--
+				activeInCluster[newCluster]++
+				// Cluster occupancies changed; refresh every thread's speed.
+				for t := 0; t < cfg.NThreads; t++ {
+					speed[t] = pl.Speed(coreOf[t], spec.Profile, activeInCluster[pl.ClusterOf(coreOf[t])])
+				}
+				if migratable != nil {
+					migratable.Migrate(tid, newCluster, now)
+				}
+			}
+			pending = append(pending[:i], pending[i+1:]...)
+			i--
+		}
+		asg, ok := sched.Next(tid, now)
+
+		// Charge the runtime-call overhead whether or not work was handed
+		// out (the final empty call still costs a pool access).
+		ovhNs := float64(asg.PoolAccesses)*(ov.PoolAccessNs+ov.ContentionNs*float64(activeCount-1)) +
+			float64(asg.Timestamps)*ov.TimestampNs
+		res.PoolAccesses += int64(asg.PoolAccesses)
+		if !ok {
+			end := now + int64(ovhNs)
+			if cfg.Trace != nil {
+				cfg.Trace.Add(tid, now, end, trace.Sched)
+			}
+			res.SchedNs += int64(ovhNs)
+			res.Finish[tid] = end
+			active[tid] = false
+			activeCount--
+			continue
+		}
+		// Locality penalty: a chunk that does not extend the thread's
+		// previous one lands cold in the cache (§2).
+		if asg.Lo != lastHi[tid] {
+			ovhNs += ov.LocalityPenaltyNs
+		}
+		lastHi[tid] = asg.Hi
+
+		execNs := spec.Cost.RangeUnits(asg.Lo, asg.Hi) / speed[tid]
+		schedEnd := now + int64(ovhNs)
+		runEnd := schedEnd + int64(execNs)
+		if cfg.Trace != nil {
+			cfg.Trace.Add(tid, now, schedEnd, trace.Sched)
+			cfg.Trace.Add(tid, schedEnd, runEnd, trace.Running)
+		}
+		res.SchedNs += int64(ovhNs)
+		res.Iters[tid] += asg.N()
+		clock[tid] = runEnd
+	}
+
+	// Implicit barrier: release at the max finish time plus the join half.
+	var maxFinish int64
+	for _, f := range res.Finish {
+		if f > maxFinish {
+			maxFinish = f
+		}
+	}
+	joinNs := int64(ov.ForkJoinNs) - forkNs
+	res.End = maxFinish + joinNs
+	if cfg.Trace != nil {
+		for tid := 0; tid < cfg.NThreads; tid++ {
+			cfg.Trace.Add(tid, res.Finish[tid], maxFinish, trace.Sync)
+			cfg.Trace.Add(tid, maxFinish, res.End, trace.Sched)
+		}
+	}
+	res.SchedNs += joinNs
+	return res, nil
+}
+
+// MeasureLoopSF reproduces the paper's offline SF measurement (§2): run the
+// loop with a single thread on a big core and again on a small core and
+// return the completion-time ratio. The single-threaded runs see no LLC
+// contention from sibling threads — the source of the offline-SF bias that
+// Fig. 9c documents.
+func MeasureLoopSF(pl *amp.Platform, spec LoopSpec) (float64, error) {
+	oneThread := func(b amp.Binding) (int64, error) {
+		cfg := Config{
+			Platform: pl,
+			NThreads: 1,
+			Binding:  b,
+			Factory: func(info core.LoopInfo) (core.Scheduler, error) {
+				return core.NewStatic(info)
+			},
+		}
+		r, err := RunLoop(cfg, spec, 0)
+		if err != nil {
+			return 0, err
+		}
+		return r.End - r.Start, nil
+	}
+	// BS puts the single thread on the highest CPU (big); SB on CPU 0 (small).
+	tBig, err := oneThread(amp.BindBS)
+	if err != nil {
+		return 0, err
+	}
+	tSmall, err := oneThread(amp.BindSB)
+	if err != nil {
+		return 0, err
+	}
+	if tBig <= 0 {
+		return 0, fmt.Errorf("sim: loop %q completed in non-positive time on big core", spec.Name)
+	}
+	return float64(tSmall) / float64(tBig), nil
+}

@@ -1,0 +1,147 @@
+// Package stats provides the small set of statistical helpers used by the
+// experiment harness: arithmetic and geometric means, normalization against a
+// baseline, and the "discard first run, geomean of the rest" aggregation the
+// paper applies to completion times (§5).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values make the result NaN, mirroring math.Log domain errors.
+// It returns 0 for an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Min returns the minimum of xs and an error if xs is empty.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs and an error if xs is empty.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Median returns the median of xs (average of the two central elements for
+// even lengths) and an error if xs is empty. xs is not modified.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2], nil
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// Normalize returns xs[i]/baseline for every element. A zero baseline yields
+// +Inf/NaN entries, as with ordinary float division.
+func Normalize(xs []float64, baseline float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / baseline
+	}
+	return out
+}
+
+// Speedup converts a completion-time ratio into the paper's "normalized
+// performance": baselineTime / time. Higher is better.
+func Speedup(baselineTime, time float64) float64 {
+	return baselineTime / time
+}
+
+// RelGainPct returns the relative performance gain, in percent, of `next`
+// over `prev` where both are completion times (lower is better):
+// (prev/next - 1) * 100.
+func RelGainPct(prevTime, nextTime float64) float64 {
+	return (prevTime/nextTime - 1) * 100
+}
+
+// AggregateRuns reproduces the paper's measurement protocol (§5): the first
+// run is discarded (warm-up / input load) and the geometric mean of the
+// remaining runs' completion times is reported. It returns an error when
+// fewer than two runs are supplied.
+func AggregateRuns(runTimes []float64) (float64, error) {
+	if len(runTimes) < 2 {
+		return 0, ErrEmpty
+	}
+	return GeoMean(runTimes[1:]), nil
+}
+
+// MeanGainPct returns the arithmetic mean of per-application relative gains
+// (in percent) of scheme `b` over scheme `a`, where a[i] and b[i] are the
+// completion times of application i under each scheme.
+func MeanGainPct(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	gains := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		gains = append(gains, RelGainPct(a[i], b[i]))
+	}
+	return Mean(gains)
+}
+
+// GeoMeanGainPct returns the geometric-mean relative gain (in percent) of
+// scheme b over scheme a, following Table 2's "Gmean" column: the geomean of
+// the per-application speedup ratios, expressed as a percentage improvement.
+func GeoMeanGainPct(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	ratios := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		ratios = append(ratios, a[i]/b[i])
+	}
+	return (GeoMean(ratios) - 1) * 100
+}

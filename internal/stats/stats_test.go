@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 3},
+		{"pair", []float64{2, 4}, 3},
+		{"negatives", []float64{-1, 1}, 0},
+		{"many", []float64{1, 2, 3, 4, 5}, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"pair", []float64{1, 4}, 2},
+		{"triple", []float64{1, 2, 4}, 2},
+		{"identity", []float64{7, 7, 7}, 7},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := GeoMean(c.in); !almostEqual(got, c.want, 1e-12) {
+				t.Errorf("GeoMean(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestGeoMeanLEMean(t *testing.T) {
+	// AM-GM inequality: geomean <= mean for positive inputs.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1 // strictly positive
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	mn, err := Min(xs)
+	if err != nil || mn != 1 {
+		t.Errorf("Min = %v, %v; want 1, nil", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 9 {
+		t.Errorf("Max = %v, %v; want 9, nil", mx, err)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	odd := []float64{5, 1, 3}
+	if m, err := Median(odd); err != nil || m != 3 {
+		t.Errorf("Median(odd) = %v, %v", m, err)
+	}
+	even := []float64{4, 1, 3, 2}
+	if m, err := Median(even); err != nil || m != 2.5 {
+		t.Errorf("Median(even) = %v, %v", m, err)
+	}
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Errorf("Median(nil) err = %v", err)
+	}
+	// Median must not mutate its input.
+	in := []float64{9, 1, 5}
+	if _, err := Median(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Errorf("Median mutated input: %v", in)
+	}
+}
+
+func TestNormalizeAndSpeedup(t *testing.T) {
+	got := Normalize([]float64{2, 4, 8}, 4)
+	want := []float64{0.5, 1, 2}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if s := Speedup(10, 5); s != 2 {
+		t.Errorf("Speedup(10,5) = %v, want 2", s)
+	}
+}
+
+func TestRelGainPct(t *testing.T) {
+	// next twice as fast as prev -> +100% gain.
+	if g := RelGainPct(10, 5); !almostEqual(g, 100, 1e-12) {
+		t.Errorf("RelGainPct(10,5) = %v, want 100", g)
+	}
+	// no change -> 0%.
+	if g := RelGainPct(7, 7); !almostEqual(g, 0, 1e-12) {
+		t.Errorf("RelGainPct(7,7) = %v, want 0", g)
+	}
+	// regression -> negative.
+	if g := RelGainPct(5, 10); !almostEqual(g, -50, 1e-12) {
+		t.Errorf("RelGainPct(5,10) = %v, want -50", g)
+	}
+}
+
+func TestAggregateRuns(t *testing.T) {
+	// First run discarded; geomean of the rest.
+	got, err := AggregateRuns([]float64{100, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2, 1e-12) {
+		t.Errorf("AggregateRuns = %v, want 2", got)
+	}
+	if _, err := AggregateRuns([]float64{1}); err == nil {
+		t.Error("AggregateRuns with one run should error")
+	}
+	if _, err := AggregateRuns(nil); err == nil {
+		t.Error("AggregateRuns(nil) should error")
+	}
+}
+
+func TestMeanGainPct(t *testing.T) {
+	a := []float64{10, 10}
+	b := []float64{5, 10} // one app 2x faster, one unchanged
+	if g := MeanGainPct(a, b); !almostEqual(g, 50, 1e-12) {
+		t.Errorf("MeanGainPct = %v, want 50", g)
+	}
+}
+
+func TestGeoMeanGainPct(t *testing.T) {
+	a := []float64{10, 10}
+	b := []float64{5, 20} // ratios 2 and 0.5 -> geomean 1 -> 0% gain
+	if g := GeoMeanGainPct(a, b); !almostEqual(g, 0, 1e-9) {
+		t.Errorf("GeoMeanGainPct = %v, want 0", g)
+	}
+}
+
+func TestGainPctProperties(t *testing.T) {
+	// For identical time vectors the gains must be exactly zero.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		return almostEqual(MeanGainPct(xs, xs), 0, 1e-9) &&
+			almostEqual(GeoMeanGainPct(xs, xs), 0, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
