@@ -1,0 +1,35 @@
+# CI entry points for the conf_icpp_SaezCP20 reproduction.
+#
+#   make ci      - everything a PR must pass: vet, build, race tests,
+#                  short-mode benchmarks
+#   make test    - plain test run (tier-1: go build ./... && go test ./...)
+#   make race    - race-detector run over the lock-free scheduler/pool layers
+#                  plus the real-goroutine runtime
+#   make bench   - the full benchmark harness (figures + micro-benchmarks)
+#   make bench-short - benchmarks compiled and run once per case (smoke)
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-short
+
+ci: vet build race bench-short
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/pool/... ./internal/rt/...
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-short:
+	$(GO) test -short -run=XXX -bench=BenchmarkChunkRemoval -benchtime=100000x ./internal/pool/
+	$(GO) test -short -run=XXX -bench=BenchmarkWorkShareSteal -benchtime=100000x .

@@ -42,7 +42,7 @@ type AIDAuto struct {
 	major     int64
 	threshold float64
 
-	ws *pool.WorkShare
+	ws *pool.ShardedWorkShare
 	sc *pool.SampleCounters
 
 	mu        sync.Mutex
@@ -88,10 +88,16 @@ func NewAIDAuto(info LoopInfo, chunk int64, pct float64, major int64, threshold 
 		pct:       pct,
 		major:     major,
 		threshold: threshold,
-		ws:        pool.NewWorkShare(info.NI),
-		sc:        pool.NewSampleCounters(info.NumTypes, info.NThreads),
-		th:        make([]perThread, info.NThreads),
-		samples:   make([]float64, info.NThreads),
+		// A single shard, deliberately: the CV classifier reads cost
+		// variation out of the sampling chunks, which must tile one
+		// contiguous global window of the iteration space — per-type
+		// shards would fragment the window and alias against block-
+		// structured cost patterns. The adopted AID-dynamic inherits the
+		// pool; the pool clamps core-type home indexes to its shard count.
+		ws:      pool.NewSharded(info.NI, []int{info.NThreads}),
+		sc:      pool.NewSampleCounters(info.NumTypes, info.NThreads),
+		th:      make([]perThread, info.NThreads),
+		samples: make([]float64, info.NThreads),
 	}, nil
 }
 
@@ -106,17 +112,8 @@ func (a *AIDAuto) Decision() (irregular bool, cv float64, ok bool) {
 	return a.irregular, a.cv, a.decided
 }
 
-func (a *AIDAuto) steal(st *perThread, n int64, asg *Assign) (Assign, bool) {
-	asg.PoolAccesses++
-	lo, hi, ok := a.ws.TrySteal(n)
-	if !ok {
-		st.lastN = 0
-		return *asg, false
-	}
-	st.delta += hi - lo
-	st.lastN = hi - lo
-	asg.Lo, asg.Hi = lo, hi
-	return *asg, true
+func (a *AIDAuto) take(tid int, st *perThread, n int64, asg *Assign) (Assign, bool) {
+	return st.take(a.ws, a.info.TypeOf(tid), n, asg)
 }
 
 // decide computes the SF table and the cross-thread CV of type-normalized
@@ -178,15 +175,19 @@ func (a *AIDAuto) decide() {
 	}
 }
 
-// finalAssign mirrors AIDHybrid's single asymmetric allotment.
+// finalAssign mirrors AIDHybrid's single asymmetric allotment, claimed
+// across shards so a share larger than the home shard is not truncated.
 func (a *AIDAuto) finalAssign(tid int, st *perThread, asg *Assign) (Assign, bool) {
 	a.assigned++
 	st.state = stDrain
 	want := int64(a.sf[a.info.TypeOf(tid)]*a.k+0.5) - st.delta
 	if want <= 0 {
-		return a.steal(st, a.chunk, asg)
+		return a.take(tid, st, a.chunk, asg)
 	}
-	return a.steal(st, want, asg)
+	rs, acc := a.ws.StealSpan(a.info.TypeOf(tid), want)
+	asg.PoolAccesses += acc
+	st.delta += spanN(rs)
+	return st.serve(rs, asg)
 }
 
 // Next implements Scheduler.
@@ -199,7 +200,7 @@ func (a *AIDAuto) Next(tid int, nowNs int64) (Assign, bool) {
 		st.lastTS = nowNs
 		asg.Timestamps++
 		st.state = stSampling
-		r, ok := a.steal(st, a.chunk, asg)
+		r, ok := a.take(tid, st, a.chunk, asg)
 		a.mu.Unlock()
 		return r, ok
 
@@ -226,7 +227,7 @@ func (a *AIDAuto) Next(tid int, nowNs int64) (Assign, bool) {
 			return r, ok
 		}
 		st.state = stSamplingWait
-		r, ok := a.steal(st, a.chunk, asg)
+		r, ok := a.take(tid, st, a.chunk, asg)
 		a.mu.Unlock()
 		return r, ok
 
@@ -241,7 +242,7 @@ func (a *AIDAuto) Next(tid int, nowNs int64) (Assign, bool) {
 			a.mu.Unlock()
 			return r, ok
 		}
-		r, ok := a.steal(st, a.chunk, asg)
+		r, ok := a.take(tid, st, a.chunk, asg)
 		a.mu.Unlock()
 		return r, ok
 
@@ -251,7 +252,7 @@ func (a *AIDAuto) Next(tid int, nowNs int64) (Assign, bool) {
 			a.mu.Unlock()
 			return dyn.Next(tid, nowNs)
 		}
-		r, ok := a.steal(st, a.chunk, asg)
+		r, ok := a.take(tid, st, a.chunk, asg)
 		a.mu.Unlock()
 		return r, ok
 	}
@@ -275,11 +276,7 @@ func sqrt(x float64) float64 {
 // newAIDDynamicAdopting builds an AID-dynamic instance that adopts an
 // existing iteration pool and a pre-computed R table, entering the AID-phase
 // regime directly (its own sampling already happened in the caller).
-func newAIDDynamicAdopting(info LoopInfo, m, major int64, ws *pool.WorkShare, r []float64) *AIDDynamic {
-	types := make([]int, info.NThreads)
-	for tid := range types {
-		types[tid] = info.TypeOf(tid)
-	}
+func newAIDDynamicAdopting(info LoopInfo, m, major int64, ws *pool.ShardedWorkShare, r []float64) *AIDDynamic {
 	d := &AIDDynamic{
 		info:  info,
 		m:     m,
@@ -287,15 +284,17 @@ func newAIDDynamicAdopting(info LoopInfo, m, major int64, ws *pool.WorkShare, r 
 		ws:    ws,
 		sc:    pool.NewSampleCounters(info.NumTypes, info.NThreads),
 		th:    make([]aidDynThread, info.NThreads),
-		types: types,
+		types: info.atomicTypes(),
 	}
-	d.r = make([]float64, len(r))
+	rv := make([]float64, len(r))
 	for i, v := range r {
-		d.r[i] = clampR(v)
+		rv[i] = clampR(v)
 	}
-	d.epoch = 1
+	d.r.Store(&rv)
+	// Epoch 1 opens with all threads outstanding, as if they had just
+	// finished the initial sampling phase.
+	d.phase.init(1, info.NThreads)
 	for tid := range d.th {
-		// Threads join as if they had finished the initial sampling.
 		d.th[tid].state = stSamplingWait
 	}
 	return d

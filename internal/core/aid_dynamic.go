@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/pool"
 )
@@ -25,6 +25,12 @@ import (
 //     is computed and the next phase uses R' = R·SM. If the allotments were
 //     perfectly balanced the raw phase times match and SM = 1.
 //
+// The whole schedule is lock free: chunk removal is a fetch-and-add on the
+// caller's per-core-type shard, and phase transitions ride the packed CAS
+// epoch word (phaseWord) — the thread that reports the last measurement of
+// an epoch owns the transition window, re-estimates R, and publishes the
+// next epoch in a single store.
+//
 // Following the optimization noted under Fig. 5, the scheduler switches
 // permanently to dynamic(m) as soon as the remaining iteration count drops
 // to M·NThreads or below, which removes the end-of-loop imbalance that large
@@ -33,36 +39,42 @@ type AIDDynamic struct {
 	info LoopInfo
 	m, M int64
 
-	ws *pool.WorkShare
+	ws *pool.ShardedWorkShare
 	sc *pool.SampleCounters
 
-	mu    sync.Mutex
 	th    []aidDynThread
-	types []int     // per-thread core type; mutable via Migrate (§4.3)
-	epoch int       // 0 = initial sampling; n>0 = nth AID phase
-	r     []float64 // per core type, relative progress vs slowest type
-	tail  bool      // switched to dynamic(m) for the loop's end
+	types []atomic.Int32 // per-thread core type; mutable via Migrate (§4.3)
 
-	// Ablation toggles (see SetAblation).
+	// phase packs (epoch, remaining): epoch 0 is the initial sampling, n>0
+	// the nth AID phase. r is published by pointer swap inside the
+	// transition window, so mid-run readers never observe a half-written
+	// table.
+	phase phaseWord
+	r     atomic.Pointer[[]float64] // per core type, progress vs slowest type
+	tail  atomic.Bool               // switched to dynamic(m) for the loop's end
+
+	// Ablation toggles (see SetAblation); set before the first Next call.
 	noTailSwitch bool
 	noSMClamp    bool
-	// phaseRecorded counts threads that reported their time for the current
-	// epoch; the counters are a.sc, reset at each phase boundary.
 }
 
 type aidDynThread struct {
 	state  threadState
-	epoch  int // last epoch this thread received an AID assignment for
+	epoch  uint32 // last epoch this thread received an AID assignment for
 	lastTS int64
-	lastN  int64
-	delta  int64 // iterations executed in wait states since last AID assignment
 	// nominalN is the intended allotment (R_j·M) of the thread's current
 	// AID phase. The actual allotment may be smaller (δ subtraction, pool
-	// clipping); measured phase times are rescaled to the nominal size so
+	// drain); measured phase times are rescaled to the nominal size so
 	// the smoothing-factor invariant holds: a perfectly balanced phase
 	// yields SM = 1 regardless of how many iterations each thread already
 	// covered while waiting.
 	nominalN int64
+	// servedN accumulates the allotment pieces served so far this phase;
+	// the phase measurement covers all of them, so a multi-shard span does
+	// not shrink the measured window to its first piece.
+	servedN int64
+	claimState
+	_ [64]byte
 }
 
 // NewAIDDynamic returns an AID-dynamic scheduler with minor chunk m and
@@ -77,19 +89,17 @@ func NewAIDDynamic(info LoopInfo, m, M int64) (*AIDDynamic, error) {
 	if M < m {
 		return nil, fmt.Errorf("core: Major chunk %d must be >= minor chunk %d", M, m)
 	}
-	types := make([]int, info.NThreads)
-	for tid := range types {
-		types[tid] = info.TypeOf(tid)
-	}
-	return &AIDDynamic{
+	a := &AIDDynamic{
 		info:  info,
 		m:     m,
 		M:     M,
-		ws:    pool.NewWorkShare(info.NI),
+		ws:    pool.NewSharded(info.NI, info.typeCounts()),
 		sc:    pool.NewSampleCounters(info.NumTypes, info.NThreads),
 		th:    make([]aidDynThread, info.NThreads),
-		types: types,
-	}, nil
+		types: info.atomicTypes(),
+	}
+	a.phase.init(0, info.NThreads)
+	return a, nil
 }
 
 // Name implements Scheduler.
@@ -101,8 +111,6 @@ func (a *AIDDynamic) Name() string { return "aid-dynamic" }
 // disableSMClamp removes the per-phase bound on the smoothing factor.
 // Must be called before the first Next invocation.
 func (a *AIDDynamic) SetAblation(disableTail, disableSMClamp bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.noTailSwitch = disableTail
 	a.noSMClamp = disableSMClamp
 }
@@ -113,32 +121,24 @@ func (a *AIDDynamic) Chunks() (m, M int64) { return a.m, a.M }
 // R returns the current per-core-type progress ratios and ok=false before
 // the initial sampling completes. Exposed for tests and ablations.
 func (a *AIDDynamic) R() (r []float64, ok bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.r == nil {
+	rp := a.r.Load()
+	if rp == nil {
 		return nil, false
 	}
-	return append([]float64(nil), a.r...), true
+	return append([]float64(nil), (*rp)...), true
 }
+
+// SFEstimate implements SFEstimator: AID-dynamic's R is its running
+// estimate of the per-core-type speedup factors.
+func (a *AIDDynamic) SFEstimate() ([]float64, bool) { return a.R() }
 
 // InTail reports whether the end-of-loop dynamic(m) switch has engaged.
-func (a *AIDDynamic) InTail() bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.tail
-}
+func (a *AIDDynamic) InTail() bool { return a.tail.Load() }
 
-func (a *AIDDynamic) steal(st *aidDynThread, n int64, asg *Assign) (Assign, bool) {
-	asg.PoolAccesses++
-	lo, hi, ok := a.ws.TrySteal(n)
-	if !ok {
-		st.lastN = 0
-		return *asg, false
-	}
-	st.delta += hi - lo
-	st.lastN = hi - lo
-	asg.Lo, asg.Hi = lo, hi
-	return *asg, true
+// take serves thread tid up to n iterations via its claimState, from the
+// thread's current home shard.
+func (a *AIDDynamic) take(tid int, st *aidDynThread, n int64, asg *Assign) (Assign, bool) {
+	return st.take(a.ws, int(a.types[tid].Load()), n, asg)
 }
 
 // clampR keeps the progress ratio inside a sane envelope; a wildly wrong
@@ -155,7 +155,8 @@ func clampR(r float64) float64 {
 }
 
 // computeInitialR derives R from the initial sampling counters exactly as
-// AID-static derives SF (per-iteration-normalized times).
+// AID-static derives SF (per-iteration-normalized times). Runs inside the
+// single-threaded transition window of epoch 0.
 func (a *AIDDynamic) computeInitialR() []float64 {
 	r := make([]float64, a.info.NumTypes)
 	slowest := 0.0
@@ -183,8 +184,11 @@ func (a *AIDDynamic) computeInitialR() []float64 {
 // to land on unusually heavy (or light) iterations cannot swing R wildly —
 // without the bound, loops with coarse content-dependent cost variation
 // oscillate, which is precisely what AID-dynamic's reduced chunk
-// sensitivity (Fig. 8) is meant to avoid.
+// sensitivity (Fig. 8) is meant to avoid. Runs inside the transition
+// window; the new table is published by pointer swap.
 func (a *AIDDynamic) smoothR() {
+	old := *a.r.Load()
+	r := append([]float64(nil), old...)
 	slowest := 0.0
 	for t := 0; t < a.info.NumTypes; t++ {
 		if avg, ok := a.sc.Avg(t); ok && avg > slowest {
@@ -204,36 +208,73 @@ func (a *AIDDynamic) smoothR() {
 				sm = 1.5
 			}
 		}
-		a.r[t] = clampR(a.r[t] * sm)
+		r[t] = clampR(r[t] * sm)
 	}
+	a.r.Store(&r)
+}
+
+// phaseSpan returns the iteration count one full AID phase consumes,
+// Σ_i R_type(i)·M — the tail-switch threshold: once less than one phase of
+// work remains, uneven chunks can only create end-of-loop imbalance, so
+// the schedule finishes under dynamic(m). (With R=1 everywhere this
+// reduces to the M·NThreads bound stated under Fig. 5.) It reads the live
+// thread-to-type mapping so OS migrations (§4.3) keep the threshold honest.
+func (a *AIDDynamic) phaseSpan() int64 {
+	span := float64(0)
+	r := a.r.Load()
+	for tid := range a.types {
+		rt := 1.0
+		if r != nil {
+			rt = (*r)[a.types[tid].Load()]
+		}
+		span += rt
+	}
+	return int64(span * float64(a.M))
 }
 
 // aidAssign hands thread tid its allotment for the current AID phase:
 // R_j·M − δ iterations (M for the slowest type). It also performs the tail
-// check: with M·NThreads or fewer iterations left, AID phases stop and the
+// check: with less than one phase of work left, AID phases stop and the
 // loop finishes under dynamic(m).
 func (a *AIDDynamic) aidAssign(tid int, st *aidDynThread, asg *Assign, nowNs int64) (Assign, bool) {
-	if !a.tail && !a.noTailSwitch && a.ws.Remaining() <= a.M*int64(a.info.NThreads) {
-		a.tail = true
+	if !a.tail.Load() && !a.noTailSwitch && a.ws.Remaining() <= a.phaseSpan() {
+		a.tail.Store(true)
 	}
-	if a.tail {
+	if a.tail.Load() {
 		st.state = stDrain
-		return a.steal(st, a.m, asg)
+		return a.take(tid, st, a.m, asg)
 	}
 	st.state = stAID
-	st.epoch = a.epoch
+	st.epoch = a.phase.epoch()
 	st.lastTS = nowNs
-	nominal := int64(math.Round(a.r[a.types[tid]] * float64(a.M)))
+	r := *a.r.Load()
+	nominal := int64(math.Round(r[a.types[tid].Load()] * float64(a.M)))
 	if nominal < a.m {
 		nominal = a.m
 	}
 	st.nominalN = nominal
+	// δ holds what the thread claimed while waiting (§4.2): it has already
+	// covered that much of its share, so the allotment shrinks accordingly.
 	want := nominal - st.delta
 	if want < a.m {
 		want = a.m
 	}
 	st.delta = 0
-	got, ok := a.steal(st, want, asg)
+	// Claim the allotment across shards: clipping it to a nearly drained
+	// home shard would shrink the phase to a sliver, and rescaling a tiny
+	// measured chunk to the nominal size amplifies timer noise straight
+	// into the SM update. Tail pieces go to the stash and are served (and
+	// measured) before the phase completes.
+	rs, acc := a.ws.StealSpan(int(a.types[tid].Load()), want)
+	asg.PoolAccesses += acc
+	got, ok := a.serveAllotment(st, rs, asg)
+	return got, ok
+}
+
+// serveAllotment starts the phase-measurement window over the claimed span.
+func (a *AIDDynamic) serveAllotment(st *aidDynThread, rs []pool.Range, asg *Assign) (Assign, bool) {
+	got, ok := st.serve(rs, asg)
+	st.servedN = st.lastN
 	return got, ok
 }
 
@@ -244,17 +285,13 @@ func (a *AIDDynamic) aidAssign(tid int, st *aidDynThread, asg *Assign, nowNs int
 // AID-dynamic the paper's candidate for multi-application scenarios with
 // OS-driven thread placement.
 func (a *AIDDynamic) Migrate(tid, newType int, _ int64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if newType >= 0 && newType < a.info.NumTypes {
-		a.types[tid] = newType
+		a.types[tid].Store(int32(newType))
 	}
 }
 
 // Next implements Scheduler, realizing the Fig. 5 state machine.
 func (a *AIDDynamic) Next(tid int, nowNs int64) (Assign, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	st := &a.th[tid]
 	asg := &Assign{}
 	switch st.state {
@@ -262,65 +299,72 @@ func (a *AIDDynamic) Next(tid int, nowNs int64) (Assign, bool) {
 		st.lastTS = nowNs
 		asg.Timestamps++
 		st.state = stSampling
-		return a.steal(st, a.m, asg)
+		return a.take(tid, st, a.m, asg)
 
 	case stSampling:
 		asg.Timestamps++
 		elapsed := nowNs - st.lastTS
 		st.lastTS = nowNs
-		last := false
 		if st.lastN > 0 {
 			perIter := elapsed * 1024 / st.lastN
-			last = a.sc.Record(a.types[tid], perIter)
-		}
-		if last {
-			a.r = a.computeInitialR()
-			a.sc.Reset()
-			a.epoch = 1
-			return a.aidAssign(tid, st, asg, nowNs)
+			a.sc.Add(int(a.types[tid].Load()), perIter)
+			if a.phase.complete(0) {
+				rv := a.computeInitialR()
+				a.r.Store(&rv)
+				a.sc.Reset()
+				a.phase.advance(1, a.info.NThreads)
+				return a.aidAssign(tid, st, asg, nowNs)
+			}
 		}
 		st.state = stSamplingWait
-		return a.steal(st, a.m, asg)
+		return a.take(tid, st, a.m, asg)
 
 	case stSamplingWait:
-		if a.r != nil {
+		if a.phase.epoch() > 0 {
 			return a.aidAssign(tid, st, asg, nowNs)
 		}
-		return a.steal(st, a.m, asg)
+		return a.take(tid, st, a.m, asg)
 
 	case stAID:
+		// Serve any outstanding pieces of the current allotment first: the
+		// phase measurement must span the whole allotment, not just its
+		// first piece.
+		if rg, ok := st.pop(); ok {
+			st.servedN += rg.N()
+			asg.Lo, asg.Hi = rg.Lo, rg.Hi
+			return *asg, true
+		}
 		// The thread just completed its AID-phase allotment; the phase
 		// completion time is the next sampling measurement (Fig. 5). The
 		// elapsed time is rescaled from the actual to the nominal allotment
-		// so that δ subtraction and pool clipping cannot distort SM.
+		// so that δ subtraction and pool drain cannot distort SM.
 		asg.Timestamps++
 		elapsed := nowNs - st.lastTS
 		st.lastTS = nowNs
-		last := false
-		if st.lastN > 0 {
+		if st.servedN > 0 {
 			scaled := elapsed
-			if st.nominalN > 0 && st.nominalN != st.lastN {
-				scaled = elapsed * st.nominalN / st.lastN
+			if st.nominalN > 0 && st.nominalN != st.servedN {
+				scaled = elapsed * st.nominalN / st.servedN
 			}
-			last = a.sc.Record(a.types[tid], scaled)
-		}
-		if last {
-			a.smoothR()
-			a.sc.Reset()
-			a.epoch++
-			return a.aidAssign(tid, st, asg, nowNs)
+			a.sc.Add(int(a.types[tid].Load()), scaled)
+			if a.phase.complete(st.epoch) {
+				a.smoothR()
+				a.sc.Reset()
+				a.phase.advance(st.epoch+1, a.info.NThreads)
+				return a.aidAssign(tid, st, asg, nowNs)
+			}
 		}
 		st.state = stSamplingWait2
-		return a.steal(st, a.m, asg)
+		return a.take(tid, st, a.m, asg)
 
 	case stSamplingWait2:
-		if st.epoch < a.epoch {
+		if st.epoch < a.phase.epoch() {
 			return a.aidAssign(tid, st, asg, nowNs)
 		}
-		return a.steal(st, a.m, asg)
+		return a.take(tid, st, a.m, asg)
 
 	case stDrain:
-		return a.steal(st, a.m, asg)
+		return a.take(tid, st, a.m, asg)
 	}
 	panic(fmt.Sprintf("core: thread %d in invalid state %v", tid, st.state))
 }

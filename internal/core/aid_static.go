@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/pool"
 )
@@ -40,17 +40,15 @@ func (s threadState) String() string {
 	return fmt.Sprintf("threadState(%d)", int(s))
 }
 
-// perThread is the bookkeeping each AID scheduler keeps per worker.
+// perThread is the bookkeeping each AID scheduler keeps per worker. Entries
+// are only ever touched by their owning thread, so no synchronization is
+// needed; the trailing pad keeps neighbouring entries off each other's
+// cache lines.
 type perThread struct {
 	state  threadState
 	lastTS int64
-	// delta counts the iterations the thread executed before entering the
-	// AID state (the δ_i of §4.2), which is subtracted from its final
-	// assignment.
-	delta int64
-	// lastN is the size of the chunk whose execution time the next Next
-	// call will measure.
-	lastN int64
+	claimState
+	_ [64]byte
 }
 
 // AIDHybrid implements both AID-static and AID-hybrid (§4.2): AID-static is
@@ -67,6 +65,12 @@ type perThread struct {
 // the pool and are drained dynamically with chunk-size steals, balancing the
 // loop tail at the price of extra pool accesses (Fig. 4b).
 //
+// The scheduler is fully lock free: chunk removal is a fetch-and-add on the
+// caller's per-core-type shard (internal/pool.ShardedWorkShare), and the
+// sampling→AID transition is serialized by a packed CAS epoch word — the
+// last thread to report a sample owns the transition window and publishes
+// SF and k by advancing the epoch.
+//
 // If the supplied offline SF table is non-nil, the sampling phase is skipped
 // entirely and the distribution uses the given per-type SF values — the
 // AID-static(offline-SF) variant of §5C.
@@ -76,16 +80,19 @@ type AIDHybrid struct {
 	pct    float64
 	static bool // report as AID-static
 
-	ws *pool.WorkShare
+	ws *pool.ShardedWorkShare
 	sc *pool.SampleCounters
 
-	mu       sync.Mutex
-	th       []perThread
-	types    []int // per-thread core type; mutable via Migrate (§4.3)
-	sfReady  bool
+	th    []perThread
+	types []atomic.Int32 // per-thread core type; mutable via Migrate (§4.3)
+
+	// phase epoch 0 is the sampling phase; epoch 1 means SF and k are
+	// published. sf and k are written only inside the transition window
+	// (or by the constructor for the offline variant).
+	phase    phaseWord
 	sf       []float64 // per core type, relative to the slowest sampled type
 	k        float64
-	assigned int
+	assigned atomic.Int32
 }
 
 // NewAIDStatic returns an AID-static scheduler with the given sampling
@@ -120,7 +127,7 @@ func NewAIDStaticOffline(info LoopInfo, chunk int64, sf []float64) (*AIDHybrid, 
 	s.static = true
 	s.sf = append([]float64(nil), sf...)
 	s.k = s.computeK(s.sf, s.pct)
-	s.sfReady = true
+	s.phase.init(1, info.NThreads) // SF published; no sampling phase
 	return s, nil
 }
 
@@ -137,19 +144,17 @@ func NewAIDHybrid(info LoopInfo, chunk int64, pct float64) (*AIDHybrid, error) {
 	if pct <= 0 || pct > 1 {
 		return nil, fmt.Errorf("core: AID-hybrid percentage %v out of (0,1]", pct)
 	}
-	types := make([]int, info.NThreads)
-	for tid := range types {
-		types[tid] = info.TypeOf(tid)
-	}
-	return &AIDHybrid{
+	a := &AIDHybrid{
 		info:  info,
 		chunk: chunk,
 		pct:   pct,
-		ws:    pool.NewWorkShare(info.NI),
+		ws:    pool.NewSharded(info.NI, info.typeCounts()),
 		sc:    pool.NewSampleCounters(info.NumTypes, info.NThreads),
 		th:    make([]perThread, info.NThreads),
-		types: types,
-	}, nil
+		types: info.atomicTypes(),
+	}
+	a.phase.init(0, info.NThreads)
+	return a, nil
 }
 
 // Name implements Scheduler.
@@ -165,29 +170,19 @@ func (a *AIDHybrid) Pct() float64 { return a.pct }
 
 // SFEstimate returns the speedup factors the scheduler derived (or was
 // given), indexed by core type, and ok=false when sampling has not finished
-// yet. Exposed for the Fig. 9c experiment and for tests.
+// yet. Implements SFEstimator; exposed for the Fig. 9c experiment, the
+// cross-engine conformance harness and tests.
 func (a *AIDHybrid) SFEstimate() (sf []float64, ok bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if !a.sfReady {
+	if a.phase.epoch() == 0 {
 		return nil, false
 	}
 	return append([]float64(nil), a.sf...), true
 }
 
-// steal removes up to n iterations from the pool for thread st, updating its
-// δ counter, and fills asg. Returns ok=false when the pool is drained.
-func (a *AIDHybrid) steal(st *perThread, n int64, asg *Assign) (Assign, bool) {
-	asg.PoolAccesses++
-	lo, hi, ok := a.ws.TrySteal(n)
-	if !ok {
-		st.lastN = 0
-		return *asg, false
-	}
-	st.delta += hi - lo
-	st.lastN = hi - lo
-	asg.Lo, asg.Hi = lo, hi
-	return *asg, true
+// take serves thread tid up to n iterations via its claimState, from the
+// thread's current home shard.
+func (a *AIDHybrid) take(tid int, st *perThread, n int64, asg *Assign) (Assign, bool) {
+	return st.take(a.ws, int(a.types[tid].Load()), n, asg)
 }
 
 // computeSF derives per-type SF values from the sampling counters: the
@@ -227,28 +222,42 @@ func (a *AIDHybrid) computeK(sf []float64, pct float64) float64 {
 }
 
 // finalAssign hands thread tid its single AID allotment: SF_j·k − δ_i
-// iterations. Under pure AID-static the last thread to be assigned takes
-// whatever remains instead, so SF rounding never orphans iterations.
+// iterations, claimed across shards so a share larger than the home shard
+// is not truncated. Under pure AID-static the last thread to be assigned
+// takes whatever remains instead, so SF rounding never orphans iterations.
 func (a *AIDHybrid) finalAssign(tid int, st *perThread, asg *Assign) (Assign, bool) {
-	a.assigned++
 	st.state = stDrain
-	if a.static && a.assigned == a.info.NThreads {
-		asg.PoolAccesses++
-		lo, hi, ok := a.ws.TryStealRest()
-		if !ok {
-			return *asg, false
+	home := int(a.types[tid].Load())
+	var rs []pool.Range
+	want := int64(math.Round(a.sf[home]*a.k)) - st.delta
+	if want > 0 {
+		var acc int
+		rs, acc = a.ws.StealSpan(home, want)
+		asg.PoolAccesses += acc
+		st.delta += spanN(rs)
+	}
+	// Claim order is load-bearing without a lock: each thread claims its
+	// own span BEFORE announcing itself assigned, so when the last
+	// announcement lands every share has already left the pool and the
+	// residue drain below can only ever take SF-rounding leftovers —
+	// never a peer's allotment whose steal has not executed yet.
+	if a.static && int(a.assigned.Add(1)) == a.info.NThreads {
+		drained, acc := a.ws.DrainAll(home)
+		asg.PoolAccesses += acc
+		st.delta += spanN(drained)
+		rs = append(rs, drained...)
+	}
+	if len(rs) == 0 {
+		if asg.PoolAccesses > 0 {
+			// The span/drain probes above already observed the drained
+			// pool; serve any stash without charging a further access.
+			return st.serve(nil, asg)
 		}
-		st.lastN = hi - lo
-		asg.Lo, asg.Hi = lo, hi
-		return *asg, true
-	}
-	want := int64(math.Round(a.sf[a.types[tid]]*a.k)) - st.delta
-	if want <= 0 {
-		// The thread already covered its share during sampling; send it
+		// want <= 0: the thread covered its share during sampling; send it
 		// straight to the drain state (it will mop up leftovers, if any).
-		return a.steal(st, a.chunk, asg)
+		return a.take(tid, st, a.chunk, asg)
 	}
-	return a.steal(st, want, asg)
+	return st.serve(rs, asg)
 }
 
 // Migrate implements Migratable (§4.3): the runtime is told that thread tid
@@ -258,62 +267,58 @@ func (a *AIDHybrid) finalAssign(tid int, st *perThread, asg *Assign) (Assign, bo
 // with work stealing for that case) — the drain state's dynamic fallback is
 // the only relief.
 func (a *AIDHybrid) Migrate(tid, newType int, _ int64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if newType >= 0 && newType < a.info.NumTypes {
-		a.types[tid] = newType
+		a.types[tid].Store(int32(newType))
 	}
 }
 
 // Next implements Scheduler, realizing the Fig. 3 state machine.
 func (a *AIDHybrid) Next(tid int, nowNs int64) (Assign, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	st := &a.th[tid]
 	asg := &Assign{}
 	switch st.state {
 	case stNew:
 		st.lastTS = nowNs
 		asg.Timestamps++
-		if a.sfReady {
+		if a.phase.epoch() > 0 {
 			// Offline-SF variant: no sampling phase at all (§5C).
 			return a.finalAssign(tid, st, asg)
 		}
 		st.state = stSampling
-		return a.steal(st, a.chunk, asg)
+		return a.take(tid, st, a.chunk, asg)
 
 	case stSampling:
 		// The chunk just finished is this thread's sampling phase.
 		asg.Timestamps++
 		elapsed := nowNs - st.lastTS
 		st.lastTS = nowNs
-		last := false
 		if st.lastN > 0 {
 			// Record per-iteration time (scaled for integer precision) so
 			// end-of-loop clipping cannot bias the estimate.
 			perIter := elapsed * 1024 / st.lastN
-			last = a.sc.Record(a.types[tid], perIter)
-		}
-		if last {
-			a.sf = a.computeSF()
-			a.k = a.computeK(a.sf, a.pct)
-			a.sfReady = true
-			return a.finalAssign(tid, st, asg)
+			a.sc.Add(int(a.types[tid].Load()), perIter)
+			if a.phase.complete(0) {
+				// Last sampler: single-threaded transition window.
+				a.sf = a.computeSF()
+				a.k = a.computeK(a.sf, a.pct)
+				a.phase.advance(1, a.info.NThreads)
+				return a.finalAssign(tid, st, asg)
+			}
 		}
 		st.state = stSamplingWait
-		return a.steal(st, a.chunk, asg)
+		return a.take(tid, st, a.chunk, asg)
 
 	case stSamplingWait:
-		if a.sfReady {
+		if a.phase.epoch() > 0 {
 			return a.finalAssign(tid, st, asg)
 		}
-		return a.steal(st, a.chunk, asg)
+		return a.take(tid, st, a.chunk, asg)
 
 	case stDrain:
 		// Past the final assignment: under AID-hybrid this schedules the
 		// remaining (1-pct)·NI iterations dynamically; under AID-static it
 		// only fires if SF rounding left a residue.
-		return a.steal(st, a.chunk, asg)
+		return a.take(tid, st, a.chunk, asg)
 	}
 	panic(fmt.Sprintf("core: thread %d in invalid state %v", tid, st.state))
 }

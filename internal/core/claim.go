@@ -1,0 +1,79 @@
+package core
+
+import "repro/internal/pool"
+
+// claimState is the per-thread claim bookkeeping shared by every AID
+// scheduler: the δ counter, the size of the last served chunk, and the
+// thread-local stash of claimed-but-unserved ranges (batched foreign-shard
+// handoffs, the tail pieces of a multi-shard span). It is only ever
+// touched by its owning thread.
+type claimState struct {
+	// delta counts the iterations the thread has claimed for itself (the
+	// δ_i of §4.2, including any not-yet-served stash), which is
+	// subtracted from its next asymmetric allotment.
+	delta int64
+	// lastN is the size of the chunk served by the most recent call.
+	lastN int64
+	// pending is the stash: ranges already claimed from the pool and
+	// awaiting execution by this thread.
+	pending []pool.Range
+}
+
+// pop takes the next stashed range, if any.
+func (cs *claimState) pop() (pool.Range, bool) {
+	if len(cs.pending) == 0 {
+		return pool.Range{}, false
+	}
+	r := cs.pending[0]
+	cs.pending = cs.pending[1:]
+	return r, true
+}
+
+// take serves up to n iterations: first from the stash, then from the pool
+// with batched foreign-shard handoff. Everything claimed (served or
+// stashed) is added to δ at claim time, so a thread can never exit with
+// stashed work and δ never under-counts what the thread owns.
+func (cs *claimState) take(ws *pool.ShardedWorkShare, home int, n int64, asg *Assign) (Assign, bool) {
+	if r, ok := cs.pop(); ok {
+		cs.lastN = r.N()
+		asg.Lo, asg.Hi = r.Lo, r.Hi
+		return *asg, true
+	}
+	lo, hi, acc, ok := ws.TryStealBatch(home, n, n*pool.HandoffBatch)
+	asg.PoolAccesses += acc
+	if !ok {
+		cs.lastN = 0
+		return *asg, false
+	}
+	cs.delta += hi - lo
+	if hi-lo > n {
+		cs.pending = append(cs.pending, pool.Range{Lo: lo + n, Hi: hi})
+		hi = lo + n
+	}
+	cs.lastN = hi - lo
+	asg.Lo, asg.Hi = lo, hi
+	return *asg, true
+}
+
+// serve hands the first of the given claimed ranges to the thread and
+// stashes the rest, falling back to the stash; ok=false means the thread
+// has nothing left at all. The caller accounts δ for the span itself.
+func (cs *claimState) serve(rs []pool.Range, asg *Assign) (Assign, bool) {
+	cs.pending = append(cs.pending, rs...)
+	if r, ok := cs.pop(); ok {
+		cs.lastN = r.N()
+		asg.Lo, asg.Hi = r.Lo, r.Hi
+		return *asg, true
+	}
+	cs.lastN = 0
+	return *asg, false
+}
+
+// spanN sums the iterations of a claimed span.
+func spanN(rs []pool.Range) int64 {
+	var n int64
+	for _, r := range rs {
+		n += r.N()
+	}
+	return n
+}

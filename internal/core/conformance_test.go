@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// conformanceInfo builds a LoopInfo with big threads first (the BS binding
+// convention all AID variants assume) on a two-type platform. small may be
+// 0: the platform still reports two core types, exercising empty shards.
+func conformanceInfo(ni int64, big, small int) LoopInfo {
+	return LoopInfo{
+		NI:       ni,
+		NThreads: big + small,
+		NumTypes: 2,
+		TypeOf: func(tid int) int {
+			if tid < big {
+				return 0
+			}
+			return 1
+		},
+	}
+}
+
+// conformanceSchedulers enumerates every scheduling method under test, each
+// built fresh per loop (Scheduler instances are single use).
+func conformanceSchedulers(t *testing.T, info LoopInfo) map[string]Scheduler {
+	t.Helper()
+	mk := map[string]Scheduler{}
+	add := func(name string, s Scheduler, err error) {
+		if err != nil {
+			t.Fatalf("building %s: %v", name, err)
+		}
+		mk[name] = s
+	}
+	st, err := NewStatic(info)
+	add("static", st, err)
+	sc, err := NewStaticChunked(info, 3)
+	add("static-chunked", sc, err)
+	dy, err := NewDynamic(info, 1)
+	add("dynamic", dy, err)
+	dy4, err := NewDynamic(info, 4)
+	add("dynamic-4", dy4, err)
+	gu, err := NewGuided(info, 1)
+	add("guided", gu, err)
+	as, err := NewAIDStatic(info, 1)
+	add("aid-static", as, err)
+	offSF := make([]float64, info.NumTypes)
+	for i := range offSF {
+		offSF[i] = float64(info.NumTypes - i)
+	}
+	ao, err := NewAIDStaticOffline(info, 1, offSF)
+	add("aid-static-offline", ao, err)
+	ah, err := NewAIDHybrid(info, 1, 0.8)
+	add("aid-hybrid", ah, err)
+	ad, err := NewAIDDynamic(info, 1, 5)
+	add("aid-dynamic", ad, err)
+	au, err := NewAIDAuto(info, 2, 0.8, 8, 0)
+	add("aid-auto", au, err)
+	wsl, err := NewWorkSteal(info, 2)
+	add("work-steal", wsl, err)
+	return mk
+}
+
+// TestSchedulerConformance is the cross-method conformance harness: every
+// scheduler must cover each iteration of the loop exactly once — no loss,
+// no duplication — across trip counts from degenerate (0, 1, fewer
+// iterations than threads) through a prime count that defeats every
+// divisibility assumption, up to a million iterations, and across thread
+// mixes from all-big to heavily small-skewed. virtualExec asserts the
+// exactly-once property and range sanity on every assignment.
+func TestSchedulerConformance(t *testing.T) {
+	bigNI := int64(1_000_000)
+	if testing.Short() {
+		bigNI = 100_000
+	}
+	mixes := []struct {
+		name       string
+		big, small int
+	}{
+		{"1B+0S", 1, 0},
+		{"2B+2S", 2, 2},
+		{"1B+7S", 1, 7},
+	}
+	for _, mix := range mixes {
+		nt := mix.big + mix.small
+		trips := []int64{0, 1, int64(nt) - 1, 10007, bigNI}
+		for _, ni := range trips {
+			if ni < 0 {
+				continue // 1B+0S has no "fewer than threads" case
+			}
+			info := conformanceInfo(ni, mix.big, mix.small)
+			for name, s := range conformanceSchedulers(t, info) {
+				t.Run(fmt.Sprintf("%s/ni=%d/%s", mix.name, ni, name), func(t *testing.T) {
+					counts, _ := virtualExec(t, s, info, []int64{100, 300})
+					var total int64
+					for _, c := range counts {
+						total += c
+					}
+					if total != ni {
+						t.Fatalf("covered %d of %d iterations", total, ni)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConformanceReversedTypeOrder runs the harness with small cores listed
+// first (type 0 slowest is not the AID convention, but LoopInfo permits any
+// mapping and coverage must be unconditional).
+func TestConformanceReversedTypeOrder(t *testing.T) {
+	info := LoopInfo{
+		NI:       10007,
+		NThreads: 4,
+		NumTypes: 2,
+		TypeOf:   func(tid int) int { return 1 - tid%2 },
+	}
+	for name, s := range conformanceSchedulers(t, info) {
+		t.Run(name, func(t *testing.T) {
+			virtualExec(t, s, info, []int64{300, 100})
+		})
+	}
+}
+
+// TestConformanceThreeTypes covers a three-core-type platform (the §4.2
+// generalization), including a type with zero running threads.
+func TestConformanceThreeTypes(t *testing.T) {
+	info := LoopInfo{
+		NI:       5003,
+		NThreads: 5,
+		NumTypes: 3,
+		TypeOf: func(tid int) int {
+			if tid < 2 {
+				return 0
+			}
+			return 2 // type 1 has no threads: its shard must still drain
+		},
+	}
+	for name, s := range conformanceSchedulers(t, info) {
+		t.Run(name, func(t *testing.T) {
+			virtualExec(t, s, info, []int64{100, 200, 300})
+		})
+	}
+}

@@ -20,14 +20,18 @@
 // timestamp from the caller, so the same implementation runs under the
 // discrete-event simulator (virtual ns) and under real goroutines (monotonic
 // ns). All scheduling state lives in shared structures mirroring libgomp's
-// work_share; iteration stealing is lock free (atomic fetch-and-add via
-// internal/pool). Unlike libgomp we serialize the O(1) AID phase-transition
-// bookkeeping with a mutex for clarity; the hot path — chunk removal — stays
-// lock free.
+// work_share; the entire hot path is lock free. Chunk removal is an atomic
+// fetch-and-add on the caller's per-core-type sub-pool
+// (internal/pool.ShardedWorkShare), so big- and small-core threads do not
+// contend on a single counter cache line, and AID phase-transition
+// bookkeeping rides a packed CAS epoch word (phaseWord) instead of a mutex:
+// the thread reporting the last measurement of a phase owns the transition
+// window and publishes the next phase in one atomic store.
 package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/pool"
 )
@@ -80,6 +84,25 @@ func (li LoopInfo) typeCounts() []int {
 		counts[li.TypeOf(tid)]++
 	}
 	return counts
+}
+
+// typeSlice snapshots the thread-to-core-type mapping.
+func (li LoopInfo) typeSlice() []int {
+	types := make([]int, li.NThreads)
+	for tid := range types {
+		types[tid] = li.TypeOf(tid)
+	}
+	return types
+}
+
+// atomicTypes snapshots the mapping into atomics, for schedulers whose
+// Migrate updates it concurrently with readers.
+func (li LoopInfo) atomicTypes() []atomic.Int32 {
+	types := make([]atomic.Int32, li.NThreads)
+	for tid := range types {
+		types[tid].Store(int32(li.TypeOf(tid)))
+	}
+	return types
 }
 
 // Assign is the result of one scheduler invocation: a half-open iteration
@@ -208,11 +231,16 @@ func (s *StaticChunked) Next(tid int, _ int64) (Assign, bool) {
 
 // Dynamic implements the OpenMP dynamic schedule: threads repeatedly steal
 // `chunk` iterations from the shared pool with an atomic fetch-and-add,
-// mirroring gomp_iter_dynamic_next (§4.2). The default chunk is 1.
+// mirroring gomp_iter_dynamic_next (§4.2). The pool is sharded per core
+// type, so the fetch-and-add lands on the caller's home sub-pool and only
+// spills to a foreign shard when the home shard drains. Every call claims
+// at most chunk iterations (strict OpenMP semantics — no handoff batching).
+// The default chunk is 1.
 type Dynamic struct {
 	info  LoopInfo
 	chunk int64
-	ws    *pool.WorkShare
+	types []int
+	ws    *pool.ShardedWorkShare
 }
 
 // NewDynamic returns a dynamic scheduler with the given chunk.
@@ -223,7 +251,7 @@ func NewDynamic(info LoopInfo, chunk int64) (*Dynamic, error) {
 	if chunk <= 0 {
 		return nil, fmt.Errorf("core: dynamic chunk must be positive, got %d", chunk)
 	}
-	return &Dynamic{info: info, chunk: chunk, ws: pool.NewWorkShare(info.NI)}, nil
+	return &Dynamic{info: info, chunk: chunk, types: info.typeSlice(), ws: pool.NewSharded(info.NI, info.typeCounts())}, nil
 }
 
 // Name implements Scheduler.
@@ -233,12 +261,12 @@ func (d *Dynamic) Name() string { return "dynamic" }
 func (d *Dynamic) Chunk() int64 { return d.chunk }
 
 // Next implements Scheduler.
-func (d *Dynamic) Next(_ int, _ int64) (Assign, bool) {
-	lo, hi, ok := d.ws.TrySteal(d.chunk)
+func (d *Dynamic) Next(tid int, _ int64) (Assign, bool) {
+	lo, hi, acc, ok := d.ws.TrySteal(d.types[tid], d.chunk)
 	if !ok {
-		return Assign{PoolAccesses: 1}, false
+		return Assign{PoolAccesses: acc}, false
 	}
-	return Assign{Lo: lo, Hi: hi, PoolAccesses: 1}, true
+	return Assign{Lo: lo, Hi: hi, PoolAccesses: acc}, true
 }
 
 // --- guided ---
@@ -251,7 +279,8 @@ func (d *Dynamic) Next(_ int, _ int64) (Assign, bool) {
 type Guided struct {
 	info     LoopInfo
 	minChunk int64
-	ws       *pool.WorkShare
+	types    []int
+	ws       *pool.ShardedWorkShare
 }
 
 // NewGuided returns a guided scheduler with the given minimum chunk.
@@ -262,16 +291,16 @@ func NewGuided(info LoopInfo, minChunk int64) (*Guided, error) {
 	if minChunk <= 0 {
 		return nil, fmt.Errorf("core: guided min chunk must be positive, got %d", minChunk)
 	}
-	return &Guided{info: info, minChunk: minChunk, ws: pool.NewWorkShare(info.NI)}, nil
+	return &Guided{info: info, minChunk: minChunk, types: info.typeSlice(), ws: pool.NewSharded(info.NI, info.typeCounts())}, nil
 }
 
 // Name implements Scheduler.
 func (g *Guided) Name() string { return "guided" }
 
 // Next implements Scheduler.
-func (g *Guided) Next(_ int, _ int64) (Assign, bool) {
+func (g *Guided) Next(tid int, _ int64) (Assign, bool) {
 	n := int64(g.info.NThreads)
-	lo, hi, ok, retries := g.ws.TryStealFunc(func(rem int64) int64 {
+	lo, hi, acc, ok := g.ws.TryStealFunc(g.types[tid], func(rem int64) int64 {
 		size := rem / n
 		if size < g.minChunk {
 			size = g.minChunk
@@ -279,9 +308,9 @@ func (g *Guided) Next(_ int, _ int64) (Assign, bool) {
 		return size
 	})
 	if !ok {
-		return Assign{PoolAccesses: 1 + retries}, false
+		return Assign{PoolAccesses: acc}, false
 	}
-	return Assign{Lo: lo, Hi: hi, PoolAccesses: 1 + retries}, true
+	return Assign{Lo: lo, Hi: hi, PoolAccesses: acc}, true
 }
 
 // Migratable is implemented by schedulers that can adapt when the OS
@@ -297,4 +326,15 @@ type Migratable interface {
 	// type newType, effective at time nowNs. Out-of-range types are
 	// ignored (defensive: a racing notification must not corrupt state).
 	Migrate(tid, newType int, nowNs int64)
+}
+
+// SFEstimator is implemented by schedulers that derive an online estimate
+// of the per-core-type speedup factors (AID-static/hybrid's SF, AID-
+// dynamic's R). Both execution engines surface the estimate after a loop,
+// which lets the cross-engine conformance harness assert that the
+// simulator and the real-goroutine runtime converge to compatible values.
+// ok is false while the estimate is not available yet; the result is only
+// safe to read once the loop has completed (or from a worker thread).
+type SFEstimator interface {
+	SFEstimate() (sf []float64, ok bool)
 }

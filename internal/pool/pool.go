@@ -145,9 +145,17 @@ func NewSampleCounters(nCoreTypes int, nThreads int) *SampleCounters {
 // thread was the LAST one to complete the sampling phase — that thread is
 // responsible for computing SF and k (Fig. 3).
 func (sc *SampleCounters) Record(coreType int, elapsedNs int64) (last bool) {
+	sc.Add(coreType, elapsedNs)
+	return sc.done.Add(1) == sc.total
+}
+
+// Add accumulates one sample without touching the completion counter.
+// Schedulers that track phase completion externally (the packed epoch word
+// of the lock-free AID state machines) use Add and detect the last thread
+// themselves.
+func (sc *SampleCounters) Add(coreType int, elapsedNs int64) {
 	sc.sumNs[coreType].Add(elapsedNs)
 	sc.counts[coreType].Add(1)
-	return sc.done.Add(1) == sc.total
 }
 
 // AllDone reports whether every participating thread has recorded a sample.

@@ -1,0 +1,336 @@
+package pool
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Range is a half-open iteration interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int64
+}
+
+// N returns the number of iterations in the range.
+func (r Range) N() int64 { return r.Hi - r.Lo }
+
+// HandoffBatch is the multiplier applied to a steal request when it has to
+// be served from a foreign shard: the thief claims up to HandoffBatch times
+// the requested size in one atomic operation and keeps the surplus in a
+// thread-local stash (see TryStealBatch). Amortizing foreign-shard accesses
+// this way keeps cross-core-type cache-line traffic bounded even after a
+// shard drains.
+const HandoffBatch = 4
+
+// shard is one per-core-type sub-pool. The hot field (next) sits alone on
+// its own cache line so fetch-and-adds by threads of one core type never
+// invalidate the line another core type is spinning on — the contention the
+// single-counter work_share suffers on AMPs.
+type shard struct {
+	_    [64]byte
+	next atomic.Int64 // first unclaimed iteration; may overshoot end
+	base int64
+	end  int64
+	// dead is set once the shard has been observed drained; it lets the
+	// hot path skip a doomed fetch-and-add (next never decreases, so a
+	// drained shard stays drained).
+	dead atomic.Bool
+	_    [39]byte
+}
+
+// remaining returns the shard's unclaimed iteration count (never negative).
+func (s *shard) remaining() int64 {
+	r := s.end - s.next.Load()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// ShardedWorkShare is the sharded version of WorkShare: the iteration space
+// is partitioned into one contiguous sub-pool per core type, sized
+// proportionally to the number of threads of that type. Threads remove
+// chunks from their home shard with a single fetch-and-add — the same lock
+// free hot path as WorkShare, minus the cross-core-type contention — and
+// fall over to the richest foreign shard when their home shard drains.
+//
+// All methods are safe for concurrent use. PoolAccess accounting counts
+// atomic read-modify-write operations (fetch-and-add / CAS); read-only
+// probes of a drained shard are not charged, matching the cost asymmetry of
+// a shared-mode cache-line read versus an exclusive-mode RMW.
+type ShardedWorkShare struct {
+	ni     int64
+	shards []shard
+}
+
+// NewSharded partitions [0, ni) into one shard per entry of weights, with
+// shard sizes proportional to the weights (typically the per-core-type
+// thread counts). A zero weight yields an empty shard; the weight sum must
+// be positive. ni may be 0; negative values panic like NewWorkShare.
+//
+// A pool may be built with fewer shards than the platform has core types
+// (a single shard preserves the unsharded global consumption order, which
+// AID-auto's cost-variation classifier depends on); home indexes beyond
+// the shard count clamp to the last shard.
+func NewSharded(ni int64, weights []int) *ShardedWorkShare {
+	if ni < 0 {
+		panic(fmt.Sprintf("pool: negative iteration count %d", ni))
+	}
+	if len(weights) == 0 {
+		panic("pool: no shard weights")
+	}
+	total := 0
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("pool: negative shard weight %d at %d", w, i))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("pool: shard weights sum to zero")
+	}
+	ws := &ShardedWorkShare{ni: ni, shards: make([]shard, len(weights))}
+	// Cumulative proportional bounds: monotone and exactly covering [0, ni).
+	cum, lo := 0, int64(0)
+	for i, w := range weights {
+		cum += w
+		hi := ni * int64(cum) / int64(total)
+		s := &ws.shards[i]
+		s.base, s.end = lo, hi
+		s.next.Store(lo)
+		lo = hi
+	}
+	return ws
+}
+
+// NI returns the total trip count of the pool.
+func (ws *ShardedWorkShare) NI() int64 { return ws.ni }
+
+// NumShards returns the number of sub-pools.
+func (ws *ShardedWorkShare) NumShards() int { return len(ws.shards) }
+
+// Remaining returns the total number of unclaimed iterations across all
+// shards. Iterations claimed but not yet executed (e.g. a thread-local
+// handoff stash) do not count — they are spoken for.
+func (ws *ShardedWorkShare) Remaining() int64 {
+	var r int64
+	for i := range ws.shards {
+		r += ws.shards[i].remaining()
+	}
+	return r
+}
+
+// ShardRemaining returns the unclaimed iteration count of one shard.
+func (ws *ShardedWorkShare) ShardRemaining(i int) int64 { return ws.shards[i].remaining() }
+
+// richestOther returns the foreign shard with the most unclaimed work, or
+// -1 when every other shard is drained.
+func (ws *ShardedWorkShare) richestOther(home int) int {
+	victim, best := -1, int64(0)
+	for i := range ws.shards {
+		if i == home {
+			continue
+		}
+		if r := ws.shards[i].remaining(); r > best {
+			best = r
+			victim = i
+		}
+	}
+	return victim
+}
+
+// claim fetch-and-adds n iterations out of shard s and clips against the
+// shard end. ok=false when the shard was already drained.
+func (s *shard) claim(n int64) (lo, hi int64, ok bool) {
+	lo = s.next.Add(n) - n
+	if lo >= s.end {
+		return 0, 0, false
+	}
+	hi = lo + n
+	if hi > s.end {
+		hi = s.end
+	}
+	return lo, hi, true
+}
+
+// badSteal reports an invalid steal request; out of line so the hot-path
+// callers only pay a branch for it.
+func badSteal(home int, chunk int64) {
+	panic(fmt.Sprintf("pool: bad steal request (home %d, chunk %d)", home, chunk))
+}
+
+// TrySteal removes up to chunk iterations, preferring the caller's home
+// shard and falling over to the richest foreign shard when it drains. It is
+// the strict (unbatched) removal path used by the conventional schedules:
+// every call claims at most chunk iterations, exactly like
+// gomp_iter_dynamic_next. accesses reports the RMW operations performed
+// (minimum 1, the drained-pool observation the caller is charged for).
+// The hot path is one flag load plus one fetch-and-add on the home shard's
+// private cache line.
+func (ws *ShardedWorkShare) TrySteal(home int, chunk int64) (lo, hi int64, accesses int, ok bool) {
+	return ws.TryStealBatch(home, chunk, chunk)
+}
+
+// TryStealBatch is TrySteal with batched handoff: a claim served by the
+// caller's home shard returns at most chunk iterations, but a claim that
+// had to fall over to a foreign shard returns up to batch iterations in one
+// RMW. The caller keeps the surplus in thread-local state, amortizing the
+// contended foreign access. batch must be >= chunk.
+func (ws *ShardedWorkShare) TryStealBatch(home int, chunk, batch int64) (lo, hi int64, accesses int, ok bool) {
+	if chunk <= 0 || home < 0 || batch < chunk {
+		badSteal(home, chunk)
+	}
+	if home >= len(ws.shards) {
+		home = len(ws.shards) - 1
+	}
+	s := &ws.shards[home]
+	if !s.dead.Load() {
+		if lo = s.next.Add(chunk) - chunk; lo < s.end {
+			if hi = lo + chunk; hi > s.end {
+				hi = s.end
+			}
+			return lo, hi, 1, true
+		}
+		s.dead.Store(true)
+		return ws.stealForeign(home, batch, 1)
+	}
+	return ws.stealForeign(home, batch, 0)
+}
+
+// stealForeign serves a thief whose home shard drained: claim n iterations
+// from the richest foreign shard, retrying while victims race to empty.
+func (ws *ShardedWorkShare) stealForeign(home int, n int64, accesses int) (lo, hi int64, acc int, ok bool) {
+	if home >= len(ws.shards) {
+		home = len(ws.shards) - 1
+	}
+	for {
+		v := ws.richestOther(home)
+		if v < 0 {
+			if accesses == 0 {
+				accesses = 1 // the drained-pool observation
+			}
+			return 0, 0, accesses, false
+		}
+		accesses++
+		if lo, hi, ok = ws.shards[v].claim(n); ok {
+			return lo, hi, accesses, true
+		}
+		ws.shards[v].dead.Store(true)
+	}
+}
+
+// TryStealFunc removes a chunk whose size depends on the total number of
+// remaining iterations, as the guided schedule requires. sizeOf receives
+// the global remaining count (always > 0) and must return a positive size;
+// the claim is CAS-based on a single shard (home preferred) and clipped at
+// the shard boundary. accesses reports RMW attempts including CAS retries.
+func (ws *ShardedWorkShare) TryStealFunc(home int, sizeOf func(remaining int64) int64) (lo, hi int64, accesses int, ok bool) {
+	if home < 0 {
+		panic(fmt.Sprintf("pool: home shard %d out of range", home))
+	}
+	if home >= len(ws.shards) {
+		home = len(ws.shards) - 1
+	}
+	for {
+		s := &ws.shards[home]
+		if s.remaining() <= 0 {
+			v := ws.richestOther(home)
+			if v < 0 {
+				if accesses == 0 {
+					accesses = 1
+				}
+				return 0, 0, accesses, false
+			}
+			s = &ws.shards[v]
+		}
+		cur := s.next.Load()
+		if cur >= s.end {
+			continue // raced to empty; re-select
+		}
+		rem := ws.Remaining()
+		if rem <= 0 {
+			continue
+		}
+		size := sizeOf(rem)
+		if size <= 0 {
+			panic(fmt.Sprintf("pool: sizeOf returned non-positive size %d", size))
+		}
+		hi = cur + size
+		if hi > s.end {
+			hi = s.end
+		}
+		accesses++
+		if s.next.CompareAndSwap(cur, hi) {
+			return cur, hi, accesses, true
+		}
+	}
+}
+
+// StealSpan claims up to want iterations across shards (home first, then
+// richest-first foreign shards) and returns them as up to NumShards
+// contiguous ranges. The AID final assignment uses it so an allotment that
+// exceeds the home shard is not silently truncated. An empty slice means
+// the pool is drained.
+func (ws *ShardedWorkShare) StealSpan(home int, want int64) (rs []Range, accesses int) {
+	if want <= 0 {
+		panic(fmt.Sprintf("pool: non-positive span want %d", want))
+	}
+	if home >= len(ws.shards) {
+		home = len(ws.shards) - 1
+	}
+	got := int64(0)
+	pick := home
+	for got < want {
+		s := &ws.shards[pick]
+		if s.remaining() > 0 {
+			accesses++
+			if lo, hi, ok := s.claim(want - got); ok {
+				rs = append(rs, Range{Lo: lo, Hi: hi})
+				got += hi - lo
+				continue
+			}
+		}
+		next := ws.richestOther(pick)
+		if next < 0 || next == pick {
+			break
+		}
+		pick = next
+	}
+	if len(rs) == 0 && accesses == 0 {
+		accesses = 1 // drained-pool observation
+	}
+	return rs, accesses
+}
+
+// DrainAll claims every remaining iteration, home shard first, as up to
+// NumShards ranges. It is the sharded analog of TryStealRest, used by the
+// AID-static last-thread assignment so SF rounding never orphans work.
+func (ws *ShardedWorkShare) DrainAll(home int) (rs []Range, accesses int) {
+	if home >= len(ws.shards) {
+		home = len(ws.shards) - 1
+	}
+	order := make([]int, 0, len(ws.shards))
+	order = append(order, home)
+	for i := range ws.shards {
+		if i != home {
+			order = append(order, i)
+		}
+	}
+	for _, i := range order {
+		s := &ws.shards[i]
+		for {
+			cur := s.next.Load()
+			if cur >= s.end {
+				break
+			}
+			accesses++
+			if s.next.CompareAndSwap(cur, s.end) {
+				rs = append(rs, Range{Lo: cur, Hi: s.end})
+				break
+			}
+		}
+	}
+	if len(rs) == 0 && accesses == 0 {
+		accesses = 1
+	}
+	return rs, accesses
+}

@@ -1,0 +1,222 @@
+package rt
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/sim"
+)
+
+// spinWork burns deterministic CPU time; the result is returned so the
+// compiler cannot elide the loop.
+func spinWork(units int) float64 {
+	x := 1.0
+	for i := 0; i < units; i++ {
+		x += 1.0 / (x + float64(i))
+	}
+	return x
+}
+
+// TestCrossEngineEquivalence runs the same seeded workload under the
+// discrete-event simulator and the real-goroutine Team executor and asserts
+// that the two engines agree on the things that must not depend on the
+// engine: every iteration is covered exactly once, all threads participate,
+// and the AID online SF estimate exists with the same structure (slowest
+// type normalized to 1, big-core estimate above 1). When enough hardware
+// parallelism is available for wall-clock sampling to be meaningful, it
+// additionally asserts the two SF estimates converge within tolerance.
+func TestCrossEngineEquivalence(t *testing.T) {
+	pl := amp.PlatformA()
+	profile := amp.Profile{ILP: 0.9, MemIntensity: 0.05}
+	const (
+		ni       = 4000
+		nthreads = 8 // the full Platform A: 4 big + 4 small under BS
+		chunk    = 16
+		// Per-iteration spin weight: heavy enough that on an oversubscribed
+		// machine the pool outlives goroutine scheduling skew (~10ms
+		// preemption slices), so every worker gets to sample before the
+		// loop drains and the SF transition can complete.
+		spin = 20000
+	)
+	sched := Schedule{Kind: KindAIDStatic, Chunk: chunk}
+
+	// Engine 1: the simulator, in virtual time.
+	simCfg := sim.Config{
+		Platform: pl,
+		NThreads: nthreads,
+		Binding:  amp.BindBS,
+		Factory:  sched.Factory(),
+	}
+	spec := sim.LoopSpec{
+		Name:    "cross-engine",
+		NI:      ni,
+		Profile: profile,
+		Cost:    sim.UniformCost{PerIter: 60000},
+	}
+	simRes, err := sim.RunLoop(simCfg, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Engine 2: real goroutines with emulated asymmetry, in wall-clock time.
+	team, err := NewTeam(TeamConfig{
+		Platform: pl,
+		NThreads: nthreads,
+		Binding:  amp.BindBS,
+		Schedule: sched,
+		Profile:  profile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]atomic.Int32, ni)
+	rtRes, err := team.ParallelForChunkedStats(ni, func(_ int, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			covered[i].Add(1)
+			spinWork(spin)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical iteration coverage: exactly once under both engines.
+	for i := range covered {
+		if c := covered[i].Load(); c != 1 {
+			t.Fatalf("rt engine covered iteration %d %d times", i, c)
+		}
+	}
+	simTotal, rtTotal := int64(0), int64(0)
+	for tid := 0; tid < nthreads; tid++ {
+		simTotal += simRes.Iters[tid]
+		rtTotal += rtRes.Iters[tid]
+	}
+	if simTotal != ni || rtTotal != ni {
+		t.Fatalf("coverage differs: sim %d, rt %d, want %d", simTotal, rtTotal, ni)
+	}
+	if simRes.SchedulerName != rtRes.SchedulerName {
+		t.Errorf("scheduler name differs across engines: %q vs %q", simRes.SchedulerName, rtRes.SchedulerName)
+	}
+
+	// Both engines must surface a structurally valid online SF estimate.
+	checkSF := func(engine string, sf []float64) {
+		if len(sf) != len(pl.Clusters) {
+			t.Fatalf("%s: SF estimate %v has %d entries, want %d", engine, sf, len(sf), len(pl.Clusters))
+		}
+		slowest := math.Inf(1)
+		for ty, v := range sf {
+			if v <= 0 || v > 64 {
+				t.Errorf("%s: SF[%d] = %v out of sane range", engine, ty, v)
+			}
+			if v < slowest {
+				slowest = v
+			}
+		}
+		if math.Abs(slowest-1) > 1e-9 {
+			t.Errorf("%s: slowest-type SF = %v, want 1 (normalization)", engine, slowest)
+		}
+	}
+	checkSF("sim", simRes.SFEstimate)
+	if simRes.SFEstimate[0] <= 1.2 {
+		t.Errorf("sim big-core SF estimate = %v, expected clearly above 1", simRes.SFEstimate[0])
+	}
+	if rtRes.SFEstimate == nil {
+		// The sampling phase can only fail to complete when scheduling skew
+		// drains the pool before some worker's first chunk — possible only
+		// without real parallelism.
+		if runtime.NumCPU() >= nthreads {
+			t.Fatal("rt engine produced no SF estimate")
+		}
+		t.Logf("rt SF estimate unavailable under oversubscription (%d CPUs); sim SF %v",
+			runtime.NumCPU(), simRes.SFEstimate)
+		return
+	}
+	checkSF("rt", rtRes.SFEstimate)
+
+	// SF convergence across engines needs real parallelism: on an
+	// oversubscribed machine the wall-clock sampling window of one worker
+	// includes other workers' timeslices and the estimate degenerates.
+	if runtime.NumCPU() < nthreads {
+		t.Logf("sim SF %v, rt SF %v (convergence check skipped: %d CPUs < %d workers)",
+			simRes.SFEstimate, rtRes.SFEstimate, runtime.NumCPU(), nthreads)
+		return
+	}
+	for ty := range simRes.SFEstimate {
+		s, r := simRes.SFEstimate[ty], rtRes.SFEstimate[ty]
+		ratio := r / s
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("SF estimate for core type %d diverges across engines: sim %v, rt %v", ty, s, r)
+		}
+	}
+}
+
+// TestCrossEngineCoverageAllSchedules sweeps every schedule kind through
+// both engines on the same loop and asserts exact coverage on each.
+func TestCrossEngineCoverageAllSchedules(t *testing.T) {
+	pl := amp.PlatformA()
+	profile := amp.Profile{ILP: 0.5, MemIntensity: 0.2}
+	const ni = 2003
+	schedules := []Schedule{
+		{Kind: KindStatic},
+		{Kind: KindStaticChunked, Chunk: 7},
+		{Kind: KindDynamic, Chunk: 3},
+		{Kind: KindGuided, Chunk: 2},
+		{Kind: KindAIDStatic, Chunk: 4},
+		{Kind: KindAIDHybrid, Chunk: 4, Pct: 0.8},
+		{Kind: KindAIDDynamic, Chunk: 2, Major: 10},
+		{Kind: KindAIDAuto, Chunk: 4, Major: 16},
+		{Kind: KindWorkSteal, Chunk: 4},
+	}
+	for _, s := range schedules {
+		t.Run(s.String(), func(t *testing.T) {
+			simRes, err := sim.RunLoop(sim.Config{
+				Platform: pl,
+				NThreads: 8,
+				Binding:  amp.BindBS,
+				Factory:  s.Factory(),
+			}, sim.LoopSpec{Name: "sweep", NI: ni, Profile: profile, Cost: sim.UniformCost{PerIter: 1000}}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var simTotal int64
+			for _, n := range simRes.Iters {
+				simTotal += n
+			}
+			if simTotal != ni {
+				t.Fatalf("sim covered %d of %d", simTotal, ni)
+			}
+
+			team, err := NewTeam(TeamConfig{Platform: pl, Schedule: s, Profile: profile})
+			if err != nil {
+				t.Fatal(err)
+			}
+			covered := make([]atomic.Int32, ni)
+			rtRes, err := team.ParallelForChunkedStats(ni, func(_ int, lo, hi int64) {
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rtTotal int64
+			for _, n := range rtRes.Iters {
+				rtTotal += n
+			}
+			if rtTotal != ni {
+				t.Fatalf("rt covered %d of %d", rtTotal, ni)
+			}
+			for i := range covered {
+				if c := covered[i].Load(); c != 1 {
+					t.Fatalf("iteration %d covered %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debug additions

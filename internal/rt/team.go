@@ -135,13 +135,42 @@ func (t *Team) ParallelFor(n int64, body func(i int64)) error {
 // ParallelForChunked is ParallelFor for bodies that prefer whole chunks
 // (e.g. to vectorize or batch). body must process exactly [lo, hi).
 func (t *Team) ParallelForChunked(n int64, body func(lo, hi int64)) error {
+	_, err := t.ParallelForChunkedStats(n, func(_ int, lo, hi int64) { body(lo, hi) })
+	return err
+}
+
+// LoopStats reports one real-goroutine loop execution in the same terms as
+// sim.LoopResult, so the cross-engine conformance harness can compare the
+// two execution engines on identical workloads.
+type LoopStats struct {
+	// Iters is the per-thread count of executed iterations.
+	Iters []int64
+	// PoolAccesses counts shared-pool RMW operations across all threads.
+	PoolAccesses int64
+	// SchedulerName records which method ran the loop.
+	SchedulerName string
+	// SFEstimate is the scheduler's online per-core-type speedup-factor
+	// estimate at loop end (nil when the method derives none).
+	SFEstimate []float64
+}
+
+// ParallelForChunkedStats executes body(tid, lo, hi) for every scheduled
+// chunk and reports per-thread iteration counts, pool accesses and the
+// scheduler's SF estimate. It is the instrumented core of the ParallelFor
+// family; the tid is the worker's team-local thread ID.
+func (t *Team) ParallelForChunkedStats(n int64, body func(tid int, lo, hi int64)) (LoopStats, error) {
 	if n < 0 {
-		return fmt.Errorf("rt: negative trip count %d", n)
+		return LoopStats{}, fmt.Errorf("rt: negative trip count %d", n)
 	}
 	sched, err := t.schedule.Factory()(t.loopInfo(n))
 	if err != nil {
-		return err
+		return LoopStats{}, err
 	}
+	stats := LoopStats{
+		Iters:         make([]int64, t.nthreads),
+		SchedulerName: sched.Name(),
+	}
+	accesses := make([]int64, t.nthreads)
 	var wg sync.WaitGroup
 	for tid := 0; tid < t.nthreads; tid++ {
 		wg.Add(1)
@@ -150,17 +179,27 @@ func (t *Team) ParallelForChunked(n int64, body func(lo, hi int64)) error {
 			f := t.slowdown[tid]
 			for {
 				asg, ok := sched.Next(tid, t.now())
+				accesses[tid] += int64(asg.PoolAccesses)
 				if !ok {
 					return
 				}
+				stats.Iters[tid] += asg.N()
 				start := time.Now()
-				body(asg.Lo, asg.Hi)
+				body(tid, asg.Lo, asg.Hi)
 				throttle(int64(time.Since(start)), f)
 			}
 		}(tid)
 	}
 	wg.Wait()
-	return nil
+	for _, a := range accesses {
+		stats.PoolAccesses += a
+	}
+	if est, ok := sched.(core.SFEstimator); ok {
+		if sf, ready := est.SFEstimate(); ready {
+			stats.SFEstimate = sf
+		}
+	}
+	return stats, nil
 }
 
 // Serial runs f on the calling goroutine, corresponding to code between

@@ -183,6 +183,11 @@ type LoopResult struct {
 	Finish []int64
 	// SchedulerName records which method ran the loop.
 	SchedulerName string
+	// SFEstimate is the scheduler's online per-core-type speedup-factor
+	// estimate at loop end (nil when the method derives none). The
+	// cross-engine conformance harness compares it against the real-
+	// goroutine runtime's estimate for the same workload.
+	SFEstimate []float64
 }
 
 // loopInfo builds the scheduler-facing description of a loop under cfg.
@@ -326,6 +331,12 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 		res.SchedNs += int64(ovhNs)
 		res.Iters[tid] += asg.N()
 		clock[tid] = runEnd
+	}
+
+	if est, isEst := sched.(core.SFEstimator); isEst {
+		if sf, ready := est.SFEstimate(); ready {
+			res.SFEstimate = sf
+		}
 	}
 
 	// Implicit barrier: release at the max finish time plus the join half.
