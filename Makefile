@@ -1,18 +1,22 @@
 # CI entry points for the conf_icpp_SaezCP20 reproduction.
 #
 #   make ci      - everything a PR must pass: vet, build, race tests,
+#                  multi-loop conformance/race under -race -count=2,
 #                  short-mode benchmarks
 #   make test    - plain test run (tier-1: go build ./... && go test ./...)
 #   make race    - race-detector run over the lock-free scheduler/pool layers
 #                  plus the real-goroutine runtime
+#   make race-multiloop - the multi-tenant conformance + registry race suite
+#                  under -race -count=2, so flaky interleavings surface in
+#                  CI, not in production
 #   make bench   - the full benchmark harness (figures + micro-benchmarks)
 #   make bench-short - benchmarks compiled and run once per case (smoke)
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-short
+.PHONY: ci vet build test race race-multiloop bench bench-short
 
-ci: vet build race bench-short
+ci: vet build race race-multiloop bench-short
 
 vet:
 	$(GO) vet ./...
@@ -24,8 +28,12 @@ test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/pool/... ./internal/rt/...
+	$(GO) test -race ./internal/core/... ./internal/pool/... ./internal/rt/... ./internal/fair/...
 	$(GO) test ./...
+
+race-multiloop:
+	$(GO) test -race -count=2 -run 'MultiTenant|Registry|MultiLoop' ./internal/core/ ./internal/rt/ ./internal/sim/
+	$(GO) test -race -count=2 ./internal/fair/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -33,3 +41,4 @@ bench:
 bench-short:
 	$(GO) test -short -run=XXX -bench=BenchmarkChunkRemoval -benchtime=100000x ./internal/pool/
 	$(GO) test -short -run=XXX -bench=BenchmarkWorkShareSteal -benchtime=100000x .
+	$(GO) test -short -run=XXX -bench=BenchmarkMultiLoop -benchtime=2x ./internal/rt/

@@ -106,6 +106,151 @@ func TestSchedulerConformance(t *testing.T) {
 	}
 }
 
+// TestMultiTenantConformance is the multi-tenant harness: K concurrent
+// loops — mixed trip counts {0, 1, prime, 1e6} and mixed schedulers, each
+// with its own Scheduler instance — share one virtual fleet of workers.
+// Each worker round-robins its Next calls across the tenants that have not
+// yet retired it, modeling the multi-loop registry's interleaving at the
+// scheduler level. The harness verifies, per tenant: exactly-once
+// iteration coverage, that coverage is already complete at the moment the
+// tenant's barrier releases (all workers retired), and that barriers are
+// independent — degenerate tenants release while the million-iteration
+// tenants still hold workers.
+func TestMultiTenantConformance(t *testing.T) {
+	bigNI := int64(1_000_000)
+	if testing.Short() {
+		bigNI = 100_000
+	}
+	info := func(ni int64) LoopInfo { return conformanceInfo(ni, 2, 2) }
+	nthreads := info(0).NThreads
+
+	type tenant struct {
+		name    string
+		ni      int64
+		s       Scheduler
+		seen    []int32
+		total   int64
+		active  []bool
+		nactive int
+		release int // barrier-release sequence number, -1 while running
+	}
+	mk := func(name string, ni int64, s Scheduler, err error) *tenant {
+		if err != nil {
+			t.Fatalf("building tenant %s: %v", name, err)
+		}
+		tn := &tenant{name: name, ni: ni, s: s, seen: make([]int32, ni),
+			active: make([]bool, nthreads), nactive: nthreads, release: -1}
+		for i := range tn.active {
+			tn.active[i] = true
+		}
+		return tn
+	}
+	var tenants []*tenant
+	add := func(name string, ni int64, s Scheduler, err error) {
+		tenants = append(tenants, mk(name, ni, s, err))
+	}
+	{
+		s, err := NewStatic(info(0))
+		add("empty/static", 0, s, err)
+	}
+	{
+		s, err := NewAIDStatic(info(1), 1)
+		add("one/aid-static", 1, s, err)
+	}
+	{
+		s, err := NewAIDDynamic(info(10007), 1, 5)
+		add("prime/aid-dynamic", 10007, s, err)
+	}
+	{
+		s, err := NewGuided(info(10007), 1)
+		add("prime/guided", 10007, s, err)
+	}
+	{
+		s, err := NewDynamic(info(bigNI), 7)
+		add("big/dynamic", bigNI, s, err)
+	}
+	{
+		s, err := NewAIDHybrid(info(bigNI), 1, 0.8)
+		add("big/aid-hybrid", bigNI, s, err)
+	}
+
+	// Virtual multi-tenant fleet: per-worker clock plus a per-worker
+	// round-robin cursor over its unretired tenants. Earliest clock acts.
+	perIterNs := []int64{100, 300}
+	clock := make([]int64, nthreads)
+	cursor := make([]int, nthreads)
+	remaining := make([]int, nthreads) // unretired tenants per worker
+	for i := range remaining {
+		remaining[i] = len(tenants)
+	}
+	releases := 0
+	for {
+		tid := -1
+		for i := 0; i < nthreads; i++ {
+			if remaining[i] > 0 && (tid == -1 || clock[i] < clock[tid]) {
+				tid = i
+			}
+		}
+		if tid == -1 {
+			break
+		}
+		// Round-robin to this worker's next unretired tenant.
+		var tn *tenant
+		for range tenants {
+			cursor[tid] = (cursor[tid] + 1) % len(tenants)
+			if cand := tenants[cursor[tid]]; cand.active[tid] {
+				tn = cand
+				break
+			}
+		}
+		asg, ok := tn.s.Next(tid, clock[tid])
+		if !ok {
+			tn.active[tid] = false
+			tn.nactive--
+			remaining[tid]--
+			if tn.nactive == 0 {
+				// Barrier release: coverage must already be complete.
+				if tn.total != tn.ni {
+					t.Fatalf("tenant %s released its barrier with %d of %d iterations done",
+						tn.name, tn.total, tn.ni)
+				}
+				tn.release = releases
+				releases++
+			}
+			continue
+		}
+		if asg.Lo < 0 || asg.Hi > tn.ni || asg.Lo >= asg.Hi {
+			t.Fatalf("tenant %s: bad range [%d,%d)", tn.name, asg.Lo, asg.Hi)
+		}
+		for i := asg.Lo; i < asg.Hi; i++ {
+			tn.seen[i]++
+		}
+		tn.total += asg.N()
+		clock[tid] += asg.N() * perIterNs[info(0).TypeOf(tid)]
+	}
+
+	for _, tn := range tenants {
+		if tn.release < 0 {
+			t.Errorf("tenant %s never released its barrier", tn.name)
+		}
+		for i, c := range tn.seen {
+			if c != 1 {
+				t.Fatalf("tenant %s: iteration %d covered %d times", tn.name, i, c)
+			}
+		}
+	}
+	// Barrier independence: the degenerate tenants (0 and 1 iterations)
+	// must release before every million-iteration tenant.
+	for _, small := range tenants[:2] {
+		for _, big := range tenants[4:] {
+			if small.release > big.release {
+				t.Errorf("tenant %s released after %s despite having %d iterations vs %d",
+					small.name, big.name, small.ni, big.ni)
+			}
+		}
+	}
+}
+
 // TestConformanceReversedTypeOrder runs the harness with small cores listed
 // first (type 0 slowest is not the AID convention, but LoopInfo permits any
 // mapping and coverage must be unconditional).

@@ -1,0 +1,107 @@
+// Package fair implements the loop-fairness policies of the multi-loop
+// executor. When several parallel loops (typically loop instances from
+// different requests) are runnable on one worker fleet, a policy decides
+// which loop a free worker serves next and for how many consecutive
+// scheduler calls (the burst). The policies are engine agnostic: the
+// real-goroutine registry (internal/rt) and the discrete-event simulator
+// (internal/sim) consult the same implementations, so fairness behaviour
+// validated in virtual time carries over to real execution.
+//
+// Fairness here is deliberately chunk-granular: a worker is never preempted
+// mid-chunk, matching the paper's model where the runtime system is only
+// entered between chunks. A loop's share of the fleet is therefore
+// proportional to its weight only in scheduler-call terms; schedulers that
+// hand out very large assignments (AID-static's one-shot allotment) make
+// the share approximate, exactly as a non-preemptive runtime would.
+package fair
+
+// Candidate describes one runnable loop to a policy. Candidate slices are
+// always presented in admission order (ascending ID).
+type Candidate struct {
+	// ID is the loop's admission-ordered identifier, unique within a fleet.
+	ID uint64
+	// Weight is the loop's relative fleet share (>= 1).
+	Weight int
+}
+
+// Policy selects the next loop for a free worker. Implementations need not
+// be safe for concurrent use: both execution engines invoke Pick under
+// their own serialization (the registry's control-plane lock, the
+// simulator's event loop), and a policy instance must not be shared between
+// fleets.
+type Policy interface {
+	// Pick returns the index into cands of the loop that worker tid should
+	// serve next, plus the number of consecutive scheduler calls (burst >=
+	// 1) to issue to that loop before re-picking. cands is never empty.
+	Pick(tid int, cands []Candidate) (idx, burst int)
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// DefaultQuantum is the number of scheduler calls a weight-1 loop receives
+// per weighted-round-robin turn. A quantum above 1 amortizes the per-pick
+// control-plane cost over several lock-free scheduler calls without
+// changing the relative shares (burst = weight x quantum).
+const DefaultQuantum = 8
+
+// weightedRoundRobin cycles each worker independently through the runnable
+// loops in admission order, serving weight x quantum scheduler calls per
+// turn. Per-worker cursors keep the policy deterministic for a fixed
+// sequence of Pick calls, which the virtual-time fairness tests rely on.
+type weightedRoundRobin struct {
+	quantum int
+	last    map[int]uint64 // per worker: ID served on the previous turn
+}
+
+// NewWeightedRoundRobin returns the default fairness policy: weighted
+// round-robin over the runnable loops with the given per-turn quantum
+// (0 selects DefaultQuantum). A loop of weight w receives w x quantum
+// consecutive scheduler calls per turn, so relative weights set relative
+// fleet shares.
+func NewWeightedRoundRobin(quantum int) Policy {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	return &weightedRoundRobin{quantum: quantum, last: make(map[int]uint64)}
+}
+
+// Name implements Policy.
+func (w *weightedRoundRobin) Name() string { return "wrr" }
+
+// Pick implements Policy: the first candidate whose ID follows the one this
+// worker served last, wrapping to the oldest loop.
+func (w *weightedRoundRobin) Pick(tid int, cands []Candidate) (int, int) {
+	idx := 0
+	if last, seen := w.last[tid]; seen {
+		for i, c := range cands {
+			if c.ID > last {
+				idx = i
+				break
+			}
+		}
+	}
+	c := cands[idx]
+	w.last[tid] = c.ID
+	weight := c.Weight
+	if weight < 1 {
+		weight = 1
+	}
+	return idx, weight * w.quantum
+}
+
+// fcfs is the run-to-completion baseline: every worker serves the oldest
+// runnable loop until that loop has no work left for it. It minimizes
+// per-loop completion time for the head of the queue at the cost of
+// head-of-line blocking for everyone behind it — the comparison point that
+// motivates weighted round-robin.
+type fcfs struct{}
+
+// NewFCFS returns the first-come-first-served policy.
+func NewFCFS() Policy { return fcfs{} }
+
+// Name implements Policy.
+func (fcfs) Name() string { return "fcfs" }
+
+// Pick implements Policy: always the oldest loop, with an effectively
+// unbounded burst (the caller re-picks when the loop retires the worker).
+func (fcfs) Pick(int, []Candidate) (int, int) { return 0, 1 << 30 }

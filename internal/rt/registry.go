@@ -1,0 +1,387 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/amp"
+	"repro/internal/core"
+	"repro/internal/fair"
+)
+
+// Registry is the multi-loop executor: it owns a fixed fleet of worker
+// goroutines (one per modeled CPU, with the same per-worker slowdown
+// emulation as Team) and admits many concurrent loop submissions. Each
+// admitted loop gets its own single-use core.Scheduler — and therefore its
+// own sharded iteration pool — while the fleet is shared: a configurable
+// fairness policy (internal/fair) decides which runnable loop a free worker
+// serves next. This is the building block for serving many users at once:
+// one request's parallel loop no longer needs a private set of threads.
+//
+// Barrier accounting is per loop. A worker that receives ok=false from a
+// loop's scheduler is retired from that loop (ok=false is terminal per
+// thread, the contract every scheduler satisfies); the loop's implicit
+// barrier releases — Wait returns — when all fleet workers have retired
+// from it, which by the schedulers' exactly-once coverage guarantee is
+// exactly when all of its iterations have executed. Other loops are
+// unaffected: their workers keep running.
+//
+// Every loop runs over the full fleet with the registry's thread-to-core
+// binding, so the scheduler-facing LoopInfo is identical to the one Team
+// builds and the big/small TypeOf mapping each AID variant assumes is
+// stable for the duration of the loop. One fidelity caveat is inherent to
+// sharing workers: an AID sampling window measured by a worker that was
+// handed to another loop in between includes foreign-chunk time, so online
+// SF estimates under heavy multi-tenancy are noisier than in dedicated
+// fleets (coverage and barrier correctness are unaffected).
+type Registry struct {
+	platform *amp.Platform
+	nthreads int
+	binding  amp.Binding
+	slowdown []float64
+	policy   fair.Policy
+	base     time.Time
+
+	// gen counts admissions; workers snapshot it at pick time and re-enter
+	// the policy when it changes, so a newly submitted loop is noticed even
+	// by a worker in the middle of an unbounded single-loop burst.
+	gen atomic.Uint64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	run    []*Loop // admitted, incomplete loops in admission order
+	nextID uint64
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// RegistryConfig configures NewRegistry.
+type RegistryConfig struct {
+	// Platform provides the topology and the per-core slowdown factors;
+	// defaults to Platform A.
+	Platform *amp.Platform
+	// NThreads is the fleet size; 0 selects the platform core count.
+	NThreads int
+	// Binding defaults to BS (the convention all AID variants assume).
+	Binding amp.Binding
+	// Profile is the instruction mix used to derive emulated slowdown
+	// factors from the platform model; the zero value is a moderate mix.
+	Profile amp.Profile
+	// Policy is the fairness policy handing workers between runnable
+	// loops; defaults to fair.NewWeightedRoundRobin(0). A policy instance
+	// is stateful and must not be shared between registries.
+	Policy fair.Policy
+}
+
+// fleetParams validates and defaults the platform/thread-count/profile
+// triple shared by NewTeam and NewRegistry. NThreads 0 selects the
+// platform core count; anything else must lie in [1, NumCores].
+func fleetParams(pl *amp.Platform, nthreads int, prof amp.Profile) (*amp.Platform, int, error) {
+	if pl == nil {
+		pl = amp.PlatformA()
+	}
+	if nthreads < 0 || nthreads > pl.NumCores() {
+		return nil, 0, fmt.Errorf("rt: thread count %d out of range [0,%d] (0 selects the platform core count)", nthreads, pl.NumCores())
+	}
+	if nthreads == 0 {
+		nthreads = pl.NumCores()
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return pl, nthreads, nil
+}
+
+// fleetSlowdowns derives each worker's emulated slowdown from the platform
+// speed model: the fastest core type runs unthrottled; others are throttled
+// by the speed ratio.
+func fleetSlowdowns(pl *amp.Platform, nthreads int, binding amp.Binding, prof amp.Profile) []float64 {
+	fastest := 0.0
+	speeds := make([]float64, nthreads)
+	for tid := 0; tid < nthreads; tid++ {
+		cpu := pl.CoreOf(tid, nthreads, binding)
+		speeds[tid] = pl.Speed(cpu, prof, 1)
+		if speeds[tid] > fastest {
+			fastest = speeds[tid]
+		}
+	}
+	slowdown := make([]float64, nthreads)
+	for tid := range speeds {
+		slowdown[tid] = fastest / speeds[tid]
+	}
+	return slowdown
+}
+
+// NewRegistry builds the worker fleet and starts its goroutines. The fleet
+// runs until Close.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	pl, nthreads, err := fleetParams(cfg.Platform, cfg.NThreads, cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = fair.NewWeightedRoundRobin(0)
+	}
+	r := &Registry{
+		platform: pl,
+		nthreads: nthreads,
+		binding:  cfg.Binding,
+		slowdown: fleetSlowdowns(pl, nthreads, cfg.Binding, cfg.Profile),
+		policy:   cfg.Policy,
+		base:     time.Now(),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.wg.Add(nthreads)
+	for tid := 0; tid < nthreads; tid++ {
+		go r.worker(tid)
+	}
+	return r, nil
+}
+
+// NThreads returns the fleet size.
+func (r *Registry) NThreads() int { return r.nthreads }
+
+// Slowdown returns worker tid's emulated slowdown factor (1 = big core).
+func (r *Registry) Slowdown(tid int) float64 { return r.slowdown[tid] }
+
+// Policy returns the registry's fairness policy.
+func (r *Registry) Policy() fair.Policy { return r.policy }
+
+// now returns monotonic nanoseconds since fleet creation (the timestamp
+// source fed to the schedulers' sampling machinery).
+func (r *Registry) now() int64 { return int64(time.Since(r.base)) }
+
+// loopInfo builds the scheduler-facing description of a loop on this fleet.
+func (r *Registry) loopInfo(n int64) core.LoopInfo {
+	return core.LoopInfo{
+		NI:       n,
+		NThreads: r.nthreads,
+		NumTypes: len(r.platform.Clusters),
+		TypeOf: func(tid int) int {
+			return r.platform.ClusterOf(r.platform.CoreOf(tid, r.nthreads, r.binding))
+		},
+	}
+}
+
+// LoopRequest describes one loop submission.
+type LoopRequest struct {
+	// N is the trip count.
+	N int64
+	// Schedule selects the scheduling method (the zero value is the plain
+	// static schedule).
+	Schedule Schedule
+	// Weight is the loop's relative fairness share; 0 selects 1.
+	Weight int
+	// Body executes iterations [lo, hi) on fleet worker tid.
+	Body func(tid int, lo, hi int64)
+}
+
+// Loop is the handle of one admitted submission. Wait (or Done) observes
+// the loop's own barrier: it releases when this loop's iterations are done,
+// independent of the rest of the fleet's work.
+type Loop struct {
+	id     uint64
+	weight int
+	n      int64
+	sched  core.Scheduler
+	body   func(tid int, lo, hi int64)
+
+	// iters and accesses are worker-indexed: slot tid is written only by
+	// worker tid and published to the waiter by close(done), which
+	// happens-after every worker's retirement (each retirement passes
+	// through the registry lock).
+	iters    []int64
+	accesses []int64
+	retired  []bool // guarded by Registry.mu
+	nretired int    // guarded by Registry.mu
+
+	submitted time.Time
+	latency   time.Duration
+	stats     LoopStats
+	done      chan struct{}
+}
+
+// ID returns the loop's admission-ordered identifier.
+func (l *Loop) ID() uint64 { return l.id }
+
+// Weight returns the loop's fairness weight.
+func (l *Loop) Weight() int { return l.weight }
+
+// Done returns a channel closed when the loop's barrier releases.
+func (l *Loop) Done() <-chan struct{} { return l.done }
+
+// Wait blocks until the loop's barrier releases and returns the loop's
+// execution statistics.
+func (l *Loop) Wait() LoopStats {
+	<-l.done
+	return l.stats
+}
+
+// Latency returns the submission-to-barrier-release duration. It is only
+// meaningful once the loop is done.
+func (l *Loop) Latency() time.Duration { return l.latency }
+
+// Submit admits a loop for execution on the fleet and returns immediately;
+// the loop starts as soon as the policy hands workers to it. It fails if
+// the registry is closed or the request is invalid.
+func (r *Registry) Submit(req LoopRequest) (*Loop, error) {
+	if req.N < 0 {
+		return nil, fmt.Errorf("rt: negative trip count %d", req.N)
+	}
+	if req.Body == nil {
+		return nil, fmt.Errorf("rt: nil loop body")
+	}
+	if req.Weight < 0 {
+		return nil, fmt.Errorf("rt: negative loop weight %d", req.Weight)
+	}
+	if req.Weight == 0 {
+		req.Weight = 1
+	}
+	sched, err := req.Schedule.Factory()(r.loopInfo(req.N))
+	if err != nil {
+		return nil, err
+	}
+	l := &Loop{
+		weight:    req.Weight,
+		n:         req.N,
+		sched:     sched,
+		body:      req.Body,
+		iters:     make([]int64, r.nthreads),
+		accesses:  make([]int64, r.nthreads),
+		retired:   make([]bool, r.nthreads),
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("rt: registry is closed")
+	}
+	l.id = r.nextID
+	r.nextID++
+	r.run = append(r.run, l)
+	r.gen.Add(1)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return l, nil
+}
+
+// Close stops accepting submissions, lets the already-admitted loops drain,
+// and joins the worker fleet. It blocks until every worker has exited and
+// is safe to call more than once.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// worker is one fleet goroutine: pick a loop under the fairness policy,
+// serve it for the granted burst of scheduler calls, repeat. The chunk
+// execution path is the same lock-free hot path as Team's — the control
+// plane (pick/retire) takes the registry lock only between bursts.
+func (r *Registry) worker(tid int) {
+	defer r.wg.Done()
+	f := r.slowdown[tid]
+	for {
+		l, burst, gen := r.pick(tid)
+		if l == nil {
+			return
+		}
+		for served := 0; served < burst; served++ {
+			if r.gen.Load() != gen {
+				break // a new loop arrived: give the policy a say
+			}
+			asg, ok := l.sched.Next(tid, r.now())
+			l.accesses[tid] += int64(asg.PoolAccesses)
+			if !ok {
+				r.retire(l, tid)
+				break
+			}
+			l.iters[tid] += asg.N()
+			start := time.Now()
+			l.body(tid, asg.Lo, asg.Hi)
+			throttle(int64(time.Since(start)), f)
+		}
+	}
+}
+
+// pick blocks until some admitted loop still wants scheduler calls from
+// worker tid, returning it with the policy's burst and the admission
+// generation, or returns nil after Close once nothing is left for this
+// worker. A lone runnable loop is granted an effectively unbounded burst —
+// the generation check in the worker loop restores fairness the moment a
+// second loop arrives — so single-tenant execution pays one pick per loop,
+// not one per chunk.
+func (r *Registry) pick(tid int) (*Loop, int, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cands := make([]fair.Candidate, 0, 4)
+	loops := make([]*Loop, 0, 4)
+	for {
+		cands, loops = cands[:0], loops[:0]
+		for _, l := range r.run {
+			if !l.retired[tid] {
+				cands = append(cands, fair.Candidate{ID: l.id, Weight: l.weight})
+				loops = append(loops, l)
+			}
+		}
+		gen := r.gen.Load()
+		if len(cands) == 1 {
+			return loops[0], 1 << 30, gen
+		}
+		if len(cands) > 0 {
+			idx, burst := r.policy.Pick(tid, cands)
+			if idx < 0 || idx >= len(cands) {
+				idx = 0 // a broken policy must not crash the fleet
+			}
+			if burst < 1 {
+				burst = 1
+			}
+			return loops[idx], burst, gen
+		}
+		if r.closed {
+			return nil, 0, 0
+		}
+		r.cond.Wait()
+	}
+}
+
+// retire records that worker tid has no more work in loop l. The last
+// retirement releases the loop's barrier: the loop leaves the runnable
+// list, its stats are published, and Done/Wait unblock.
+func (r *Registry) retire(l *Loop, tid int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l.retired[tid] {
+		return
+	}
+	l.retired[tid] = true
+	l.nretired++
+	if l.nretired < r.nthreads {
+		return
+	}
+	for i, cand := range r.run {
+		if cand == l {
+			r.run = append(r.run[:i], r.run[i+1:]...)
+			break
+		}
+	}
+	l.latency = time.Since(l.submitted)
+	l.stats = LoopStats{
+		Iters:         append([]int64(nil), l.iters...),
+		SchedulerName: l.sched.Name(),
+	}
+	for _, a := range l.accesses {
+		l.stats.PoolAccesses += a
+	}
+	if est, ok := l.sched.(core.SFEstimator); ok {
+		if sf, ready := est.SFEstimate(); ready {
+			l.stats.SFEstimate = sf
+		}
+	}
+	close(l.done)
+}

@@ -196,6 +196,31 @@ func TestNewTeamValidation(t *testing.T) {
 	}
 }
 
+// TestNewTeamThreadCountMessage pins the validation contract: 0 is the
+// documented "platform default" value and must be accepted, negatives and
+// oversubscription must be rejected, and the error message must state the
+// actual accepted range [0, NumCores] including the meaning of 0 — the
+// message used to claim [1, N] while silently defaulting 0.
+func TestNewTeamThreadCountMessage(t *testing.T) {
+	team, err := NewTeam(TeamConfig{NThreads: 0})
+	if err != nil {
+		t.Fatalf("NThreads 0 rejected: %v", err)
+	}
+	if team.NThreads() != 8 {
+		t.Errorf("NThreads 0 defaulted to %d, want the platform core count 8", team.NThreads())
+	}
+	for _, n := range []int{-1, 9, 99} {
+		_, err := NewTeam(TeamConfig{NThreads: n})
+		if err == nil {
+			t.Errorf("NThreads %d accepted", n)
+			continue
+		}
+		if !strings.Contains(err.Error(), "[0,8]") || !strings.Contains(err.Error(), "0 selects") {
+			t.Errorf("NThreads %d error %q does not state the accepted range and the 0 default", n, err)
+		}
+	}
+}
+
 func TestParallelForCoverage(t *testing.T) {
 	for _, sched := range []Schedule{
 		{Kind: KindStatic},

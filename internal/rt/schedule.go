@@ -8,11 +8,18 @@
 //     schedule, so this variable governs all loops), and GOOMP_AMP_AFFINITY
 //     selects the SB/BS thread-to-core binding convention like
 //     GOMP_AMP_AFFINITY does in the paper (§4.3).
-//   - Team: a real-goroutine executor with per-worker speed throttling that
-//     emulates big/small cores, used by the runnable examples. Go offers no
-//     thread-to-core affinity, so wall-clock fidelity is limited; the
-//     discrete-event engine (internal/sim) carries the paper's evaluation,
-//     while Team demonstrates the schedulers as real concurrent code.
+//   - Registry: the multi-loop executor — a persistent fleet of worker
+//     goroutines (one per modeled CPU, with per-worker speed throttling
+//     that emulates big/small cores) serving many concurrent loop
+//     submissions, each with its own scheduler, sharded pool and barrier,
+//     under a pluggable fairness policy (internal/fair). This is the
+//     building block for serving many users' loops at once.
+//   - Team: the single-loop fork/join facade over Registry, used by the
+//     runnable examples. Go offers no thread-to-core affinity, so
+//     wall-clock fidelity is limited; the discrete-event engine
+//     (internal/sim, including the multi-loop sim.RunLoops) carries the
+//     paper's evaluation, while Team and Registry demonstrate the
+//     schedulers as real concurrent code.
 package rt
 
 import (

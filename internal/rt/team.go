@@ -2,11 +2,9 @@ package rt
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/amp"
-	"repro/internal/core"
 )
 
 // Team executes parallel loops with real goroutines, one worker per modeled
@@ -17,13 +15,20 @@ import (
 // times and genuinely concurrent pool accesses, so this executor validates
 // the runtime as real parallel code (the simulator validates the
 // performance model).
+//
+// Team is the single-loop facade over Registry: each ParallelFor call
+// spins up a dedicated worker fleet, submits the one loop, waits on its
+// barrier and tears the fleet down — the classic fork/join shape of
+// `#pragma omp parallel for`. Long-lived services that run many loops
+// (from many requests) on one persistent fleet should use Registry
+// directly.
 type Team struct {
 	platform *amp.Platform
 	nthreads int
 	binding  amp.Binding
 	schedule Schedule
+	profile  amp.Profile
 	slowdown []float64 // per thread, >= 1
-	base     time.Time
 }
 
 // TeamConfig configures NewTeam.
@@ -31,11 +36,12 @@ type TeamConfig struct {
 	// Platform provides the topology and the per-core slowdown factors;
 	// defaults to Platform A.
 	Platform *amp.Platform
-	// NThreads defaults to the platform core count.
+	// NThreads is the worker count; 0 selects the platform core count.
+	// Values outside [0, NumCores] are rejected.
 	NThreads int
 	// Binding defaults to BS (the convention all AID variants assume).
 	Binding amp.Binding
-	// Schedule defaults to AID-static.
+	// Schedule defaults to the zero value (the plain static schedule).
 	Schedule Schedule
 	// Profile is the instruction mix used to derive emulated slowdown
 	// factors from the platform model; the zero value is a moderate mix.
@@ -44,42 +50,18 @@ type TeamConfig struct {
 
 // NewTeam builds a team of workers.
 func NewTeam(cfg TeamConfig) (*Team, error) {
-	if cfg.Platform == nil {
-		cfg.Platform = amp.PlatformA()
-	}
-	if cfg.NThreads == 0 {
-		cfg.NThreads = cfg.Platform.NumCores()
-	}
-	if cfg.NThreads < 0 || cfg.NThreads > cfg.Platform.NumCores() {
-		return nil, fmt.Errorf("rt: thread count %d out of range [1,%d]", cfg.NThreads, cfg.Platform.NumCores())
-	}
-	if err := cfg.Profile.Validate(); err != nil {
+	pl, nthreads, err := fleetParams(cfg.Platform, cfg.NThreads, cfg.Profile)
+	if err != nil {
 		return nil, err
 	}
-	t := &Team{
-		platform: cfg.Platform,
-		nthreads: cfg.NThreads,
+	return &Team{
+		platform: pl,
+		nthreads: nthreads,
 		binding:  cfg.Binding,
 		schedule: cfg.Schedule,
-		slowdown: make([]float64, cfg.NThreads),
-		base:     time.Now(),
-	}
-	// Derive each worker's slowdown from the platform speed model: the
-	// fastest core type runs unthrottled; others are throttled by the
-	// speed ratio.
-	fastest := 0.0
-	speeds := make([]float64, cfg.NThreads)
-	for tid := 0; tid < cfg.NThreads; tid++ {
-		cpu := cfg.Platform.CoreOf(tid, cfg.NThreads, cfg.Binding)
-		speeds[tid] = cfg.Platform.Speed(cpu, cfg.Profile, 1)
-		if speeds[tid] > fastest {
-			fastest = speeds[tid]
-		}
-	}
-	for tid := range speeds {
-		t.slowdown[tid] = fastest / speeds[tid]
-	}
-	return t, nil
+		profile:  cfg.Profile,
+		slowdown: fleetSlowdowns(pl, nthreads, cfg.Binding, cfg.Profile),
+	}, nil
 }
 
 // NThreads returns the worker count.
@@ -90,9 +72,6 @@ func (t *Team) Schedule() Schedule { return t.schedule }
 
 // Slowdown returns worker tid's emulated slowdown factor (1 = big core).
 func (t *Team) Slowdown(tid int) float64 { return t.slowdown[tid] }
-
-// now returns monotonic nanoseconds since team creation.
-func (t *Team) now() int64 { return int64(time.Since(t.base)) }
 
 // throttle busy-waits to stretch a chunk that took execNs to the duration it
 // would have taken on a core slower by factor f.
@@ -105,18 +84,6 @@ func throttle(execNs int64, f float64) {
 	for time.Now().Before(deadline) {
 		// Busy wait, as a pinned thread on a slow core would keep its core
 		// busy. The loop body is intentionally empty.
-	}
-}
-
-// loopInfo builds the scheduler-facing loop description.
-func (t *Team) loopInfo(n int64) core.LoopInfo {
-	return core.LoopInfo{
-		NI:       n,
-		NThreads: t.nthreads,
-		NumTypes: len(t.platform.Clusters),
-		TypeOf: func(tid int) int {
-			return t.platform.ClusterOf(t.platform.CoreOf(tid, t.nthreads, t.binding))
-		},
 	}
 }
 
@@ -162,44 +129,21 @@ func (t *Team) ParallelForChunkedStats(n int64, body func(tid int, lo, hi int64)
 	if n < 0 {
 		return LoopStats{}, fmt.Errorf("rt: negative trip count %d", n)
 	}
-	sched, err := t.schedule.Factory()(t.loopInfo(n))
+	reg, err := NewRegistry(RegistryConfig{
+		Platform: t.platform,
+		NThreads: t.nthreads,
+		Binding:  t.binding,
+		Profile:  t.profile,
+	})
 	if err != nil {
 		return LoopStats{}, err
 	}
-	stats := LoopStats{
-		Iters:         make([]int64, t.nthreads),
-		SchedulerName: sched.Name(),
+	defer reg.Close()
+	l, err := reg.Submit(LoopRequest{N: n, Schedule: t.schedule, Body: body})
+	if err != nil {
+		return LoopStats{}, err
 	}
-	accesses := make([]int64, t.nthreads)
-	var wg sync.WaitGroup
-	for tid := 0; tid < t.nthreads; tid++ {
-		wg.Add(1)
-		go func(tid int) {
-			defer wg.Done()
-			f := t.slowdown[tid]
-			for {
-				asg, ok := sched.Next(tid, t.now())
-				accesses[tid] += int64(asg.PoolAccesses)
-				if !ok {
-					return
-				}
-				stats.Iters[tid] += asg.N()
-				start := time.Now()
-				body(tid, asg.Lo, asg.Hi)
-				throttle(int64(time.Since(start)), f)
-			}
-		}(tid)
-	}
-	wg.Wait()
-	for _, a := range accesses {
-		stats.PoolAccesses += a
-	}
-	if est, ok := sched.(core.SFEstimator); ok {
-		if sf, ready := est.SFEstimate(); ready {
-			stats.SFEstimate = sf
-		}
-	}
-	return stats, nil
+	return l.Wait(), nil
 }
 
 // Serial runs f on the calling goroutine, corresponding to code between

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fair"
+)
+
+// RunLoops simulates the concurrent execution of several parallel loops on
+// one worker fleet in virtual time — the discrete-event model of the
+// multi-loop registry (internal/rt). All loops are admitted at startNs;
+// each gets its own scheduler instance (and so its own sharded iteration
+// pool) and its own barrier, while the fleet's workers are handed between
+// runnable loops by the fairness policy (nil selects weighted round-robin).
+// Because the same fair.Policy implementations drive both engines,
+// fairness behaviour sanity-checked here deterministically carries over to
+// the real-goroutine executor.
+//
+// The fleet is persistent, matching the registry: no per-loop fork/join
+// cost is charged, worker clocks start at startNs, and a loop's End is the
+// time its last worker retired from it (observed the drained pool). The
+// i-th result corresponds to specs[i]. Migrations and tracing are not
+// supported under multi-loop execution; configuring either is an error.
+func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) ([]LoopResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sim: no loops to run")
+	}
+	if len(cfg.Migrations) > 0 {
+		return nil, fmt.Errorf("sim: migrations are not supported under multi-loop execution")
+	}
+	if cfg.Trace != nil {
+		return nil, fmt.Errorf("sim: tracing is not supported under multi-loop execution")
+	}
+	if policy == nil {
+		policy = fair.NewWeightedRoundRobin(0)
+	}
+
+	pl := cfg.Platform
+	ov := pl.Overhead
+	nt := cfg.NThreads
+	nl := len(specs)
+
+	// Per-loop scheduler, speed table, locality state and result. Cluster
+	// occupancy is the whole fleet for every loop: the workers are shared,
+	// so each loop's chunks contend with all resident threads of the
+	// cluster, whichever loop they happen to be serving.
+	scheds := make([]core.Scheduler, nl)
+	speed := make([][]float64, nl)
+	lastHi := make([][]int64, nl)
+	retired := make([][]bool, nl)
+	nretired := make([]int, nl)
+	results := make([]LoopResult, nl)
+	weights := make([]int, nl)
+
+	coreOf := make([]int, nt)
+	activeInCluster := make([]int, len(pl.Clusters))
+	for tid := 0; tid < nt; tid++ {
+		coreOf[tid] = pl.CoreOf(tid, nt, cfg.Binding)
+		activeInCluster[pl.ClusterOf(coreOf[tid])]++
+	}
+
+	for li, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		info := loopInfo(cfg, spec.NI)
+		s, err := cfg.buildScheduler(spec.Name, info)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building scheduler for loop %q: %w", spec.Name, err)
+		}
+		scheds[li] = s
+		speed[li] = make([]float64, nt)
+		lastHi[li] = make([]int64, nt)
+		retired[li] = make([]bool, nt)
+		for tid := 0; tid < nt; tid++ {
+			speed[li][tid] = pl.Speed(coreOf[tid], spec.Profile, activeInCluster[pl.ClusterOf(coreOf[tid])])
+			lastHi[li][tid] = -1
+		}
+		weights[li] = spec.Weight
+		if weights[li] == 0 {
+			weights[li] = 1
+		}
+		results[li] = LoopResult{
+			Start:         startNs,
+			Iters:         make([]int64, nt),
+			Finish:        make([]int64, nt),
+			SchedulerName: s.Name(),
+		}
+	}
+
+	// Worker state: virtual clock, the loop currently served and the burst
+	// remaining in the policy's grant. A worker is live while some loop has
+	// not retired it.
+	clock := make([]int64, nt)
+	curLoop := make([]int, nt)
+	burstLeft := make([]int, nt)
+	pending := make([]int, nt) // unretired loop count per worker
+	for tid := 0; tid < nt; tid++ {
+		clock[tid] = startNs
+		curLoop[tid] = -1
+		pending[tid] = nl
+	}
+	liveWorkers := nt
+
+	cands := make([]fair.Candidate, 0, nl)
+	candLoop := make([]int, 0, nl)
+	for liveWorkers > 0 {
+		// Earliest-clock-first among live workers; ties resolve to the
+		// lowest thread ID, keeping the simulation deterministic.
+		tid := -1
+		for i := 0; i < nt; i++ {
+			if pending[i] > 0 && (tid == -1 || clock[i] < clock[tid]) {
+				tid = i
+			}
+		}
+		now := clock[tid]
+
+		// Re-enter the policy when the granted burst is exhausted or the
+		// served loop has retired this worker.
+		li := curLoop[tid]
+		if li < 0 || burstLeft[tid] <= 0 || retired[li][tid] {
+			cands, candLoop = cands[:0], candLoop[:0]
+			for i := 0; i < nl; i++ {
+				if !retired[i][tid] {
+					cands = append(cands, fair.Candidate{ID: uint64(i), Weight: weights[i]})
+					candLoop = append(candLoop, i)
+				}
+			}
+			idx, burst := policy.Pick(tid, cands)
+			if idx < 0 || idx >= len(cands) {
+				idx = 0
+			}
+			if burst < 1 {
+				burst = 1
+			}
+			li = candLoop[idx]
+			curLoop[tid] = li
+			burstLeft[tid] = burst
+		}
+		burstLeft[tid]--
+
+		asg, ok := scheds[li].Next(tid, now)
+		res := &results[li]
+		// Charge the runtime-call overhead whether or not work was handed
+		// out (the final empty call still costs a pool access). Contention
+		// scales with the whole live fleet: every worker hits some loop's
+		// pool, and the interconnect does not care which.
+		ovhNs := float64(asg.PoolAccesses)*(ov.PoolAccessNs+ov.ContentionNs*float64(liveWorkers-1)) +
+			float64(asg.Timestamps)*ov.TimestampNs
+		res.PoolAccesses += int64(asg.PoolAccesses)
+		if !ok {
+			end := now + int64(ovhNs)
+			res.SchedNs += int64(ovhNs)
+			res.Finish[tid] = end
+			clock[tid] = end
+			retired[li][tid] = true
+			nretired[li]++
+			pending[tid]--
+			if pending[tid] == 0 {
+				liveWorkers--
+			}
+			if nretired[li] == nt {
+				// This loop's barrier releases: End is the last retirement.
+				var maxFinish int64
+				for _, f := range res.Finish {
+					if f > maxFinish {
+						maxFinish = f
+					}
+				}
+				res.End = maxFinish
+				if est, isEst := scheds[li].(core.SFEstimator); isEst {
+					if sf, ready := est.SFEstimate(); ready {
+						res.SFEstimate = sf
+					}
+				}
+			}
+			continue
+		}
+		// Locality penalty: a chunk that does not extend the thread's
+		// previous one in this loop lands cold in the cache (§2).
+		if asg.Lo != lastHi[li][tid] {
+			ovhNs += ov.LocalityPenaltyNs
+		}
+		lastHi[li][tid] = asg.Hi
+
+		execNs := specs[li].Cost.RangeUnits(asg.Lo, asg.Hi) / speed[li][tid]
+		res.SchedNs += int64(ovhNs)
+		res.Iters[tid] += asg.N()
+		clock[tid] = now + int64(ovhNs) + int64(execNs)
+	}
+	return results, nil
+}

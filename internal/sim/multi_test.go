@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/core"
+	"repro/internal/fair"
+)
+
+// multiCfg is the shared fleet configuration of the multi-loop tests:
+// the full Platform A under BS with a per-loop dynamic scheduler.
+func multiCfg(chunk int64) Config {
+	return Config{
+		Platform: amp.PlatformA(),
+		NThreads: 8,
+		Binding:  amp.BindBS,
+		Factory: func(info core.LoopInfo) (core.Scheduler, error) {
+			return core.NewDynamic(info, chunk)
+		},
+	}
+}
+
+func uniformSpec(name string, ni int64, weight int) LoopSpec {
+	return LoopSpec{
+		Name:    name,
+		NI:      ni,
+		Profile: amp.Profile{ILP: 0.5, MemIntensity: 0.1},
+		Cost:    UniformCost{PerIter: 20000},
+		Weight:  weight,
+	}
+}
+
+func sumIters(r LoopResult) int64 {
+	var t int64
+	for _, n := range r.Iters {
+		t += n
+	}
+	return t
+}
+
+// TestMultiLoopExactCoverageMixedTenants runs K=5 concurrent loops with
+// mixed trip counts (0, 1, prime, large) and mixed schedulers on one fleet
+// and asserts per-loop exact coverage and per-loop barrier release: every
+// loop gets an End, and the degenerate tenants release long before the
+// large ones.
+func TestMultiLoopExactCoverageMixedTenants(t *testing.T) {
+	cfg := multiCfg(4)
+	cfg.Factory = nil
+	cfg.FactoryNamed = func(name string, info core.LoopInfo) (core.Scheduler, error) {
+		switch name {
+		case "empty", "big-dynamic":
+			return core.NewDynamic(info, 4)
+		case "one":
+			return core.NewStatic(info)
+		case "prime-aid-dynamic":
+			return core.NewAIDDynamic(info, 1, 5)
+		case "big-aid-hybrid":
+			return core.NewAIDHybrid(info, 1, 0.8)
+		}
+		return nil, nil
+	}
+	specs := []LoopSpec{
+		uniformSpec("empty", 0, 1),
+		uniformSpec("one", 1, 1),
+		uniformSpec("prime-aid-dynamic", 10007, 1),
+		uniformSpec("big-dynamic", 200_000, 1),
+		uniformSpec("big-aid-hybrid", 200_000, 1),
+	}
+	results, err := RunLoops(cfg, specs, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, r := range results {
+		if got := sumIters(r); got != specs[li].NI {
+			t.Errorf("loop %q covered %d of %d iterations", specs[li].Name, got, specs[li].NI)
+		}
+		if r.End <= 0 && specs[li].NI > 0 {
+			t.Errorf("loop %q barrier never released (End=%d)", specs[li].Name, r.End)
+		}
+	}
+	// Independent barriers: the empty and single-iteration tenants release
+	// while the big tenants are still running.
+	for _, small := range []int{0, 1} {
+		for _, big := range []int{3, 4} {
+			if results[small].End >= results[big].End {
+				t.Errorf("loop %q (End %d) should release before %q (End %d)",
+					specs[small].Name, results[small].End, specs[big].Name, results[big].End)
+			}
+		}
+	}
+}
+
+// TestMultiLoopWeightedFairness submits two identical loops with weights
+// 2:1 under weighted round-robin: the heavy loop must take the larger
+// fleet share and release its barrier first, while total work conservation
+// keeps the second barrier near the single-policy makespan.
+func TestMultiLoopWeightedFairness(t *testing.T) {
+	cfg := multiCfg(8)
+	specs := []LoopSpec{
+		uniformSpec("heavy", 60_000, 2),
+		uniformSpec("light", 60_000, 1),
+	}
+	results, err := RunLoops(cfg, specs, fair.NewWeightedRoundRobin(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, r := range results {
+		if got := sumIters(r); got != specs[li].NI {
+			t.Fatalf("loop %q covered %d of %d", specs[li].Name, got, specs[li].NI)
+		}
+	}
+	if results[0].End >= results[1].End {
+		t.Errorf("weight-2 loop End %d should precede weight-1 loop End %d",
+			results[0].End, results[1].End)
+	}
+	// With a 2:1 share the heavy loop should be clearly ahead — its barrier
+	// well before the light loop's — but not as extreme as run-to-completion.
+	ratio := float64(results[0].End) / float64(results[1].End)
+	if ratio > 0.95 {
+		t.Errorf("weighted shares had no effect: End ratio %.3f", ratio)
+	}
+}
+
+// TestMultiLoopFCFSHeadOfLine pins the baseline the fairness policy
+// replaces: under first-come-first-served the whole fleet serves the oldest
+// loop to completion, so the first barrier releases at roughly half the
+// makespan and the second loop is blocked behind it.
+func TestMultiLoopFCFSHeadOfLine(t *testing.T) {
+	cfg := multiCfg(8)
+	specs := []LoopSpec{
+		uniformSpec("first", 60_000, 1),
+		uniformSpec("second", 60_000, 1),
+	}
+	results, err := RunLoops(cfg, specs, fair.NewFCFS(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, r := range results {
+		if got := sumIters(r); got != specs[li].NI {
+			t.Fatalf("loop %q covered %d of %d", specs[li].Name, got, specs[li].NI)
+		}
+	}
+	if results[0].End >= results[1].End {
+		t.Fatalf("FCFS first loop End %d should precede second End %d",
+			results[0].End, results[1].End)
+	}
+	if ratio := float64(results[0].End) / float64(results[1].End); ratio > 0.75 {
+		t.Errorf("FCFS head-of-line not visible: End ratio %.3f, want ~0.5", ratio)
+	}
+}
+
+// TestMultiLoopEqualWeightsBalanced checks that two identical weight-1
+// loops release their barriers close together under WRR — neither starves.
+func TestMultiLoopEqualWeightsBalanced(t *testing.T) {
+	cfg := multiCfg(8)
+	specs := []LoopSpec{
+		uniformSpec("a", 60_000, 1),
+		uniformSpec("b", 60_000, 1),
+	}
+	results, err := RunLoops(cfg, specs, fair.NewWeightedRoundRobin(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, late := results[0].End, results[1].End
+	if early > late {
+		early, late = late, early
+	}
+	if float64(early) < 0.8*float64(late) {
+		t.Errorf("equal-weight loops diverged: Ends %d vs %d", results[0].End, results[1].End)
+	}
+}
+
+// TestMultiLoopSingleMatchesDedicatedDistribution runs one loop through
+// RunLoops and through RunLoop and asserts the dynamic scheduler makes the
+// same per-thread distribution decisions (the multi-loop engine differs
+// only in fork/join accounting, which dynamic ignores).
+func TestMultiLoopSingleMatchesDedicatedDistribution(t *testing.T) {
+	cfg := multiCfg(16)
+	spec := uniformSpec("solo", 40_000, 1)
+	multi, err := RunLoops(cfg, []LoopSpec{spec}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := RunLoop(cfg, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumIters(multi[0]) != sumIters(single) {
+		t.Fatalf("coverage differs: multi %d vs single %d", sumIters(multi[0]), sumIters(single))
+	}
+	for tid := range multi[0].Iters {
+		if multi[0].Iters[tid] != single.Iters[tid] {
+			t.Errorf("thread %d iters differ: multi %d vs single %d",
+				tid, multi[0].Iters[tid], single.Iters[tid])
+		}
+	}
+}
+
+func TestMultiLoopErrors(t *testing.T) {
+	cfg := multiCfg(4)
+	spec := uniformSpec("x", 100, 1)
+	if _, err := RunLoops(cfg, nil, nil, 0); err == nil {
+		t.Error("empty spec list accepted")
+	}
+	bad := cfg
+	bad.Migrations = []Migration{{Tid: 0, ToCPU: 1}}
+	if _, err := RunLoops(bad, []LoopSpec{spec}, nil, 0); err == nil {
+		t.Error("migrations accepted under multi-loop execution")
+	}
+	neg := spec
+	neg.Weight = -1
+	if _, err := RunLoops(cfg, []LoopSpec{neg}, nil, 0); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := neg.Validate(); err == nil {
+		t.Error("LoopSpec.Validate accepted negative weight")
+	}
+}

@@ -95,6 +95,10 @@ type LoopSpec struct {
 	Profile amp.Profile
 	// Cost is the per-iteration work model.
 	Cost CostModel
+	// Weight is the loop's relative fairness share when several loops run
+	// concurrently on one fleet (RunLoops); 0 selects the default weight 1.
+	// Single-loop execution (RunLoop) ignores it.
+	Weight int
 }
 
 // Validate checks the loop description.
@@ -104,6 +108,9 @@ func (ls LoopSpec) Validate() error {
 	}
 	if ls.Cost == nil {
 		return fmt.Errorf("sim: loop %q has no cost model", ls.Name)
+	}
+	if ls.Weight < 0 {
+		return fmt.Errorf("sim: loop %q has negative weight %d", ls.Name, ls.Weight)
 	}
 	return ls.Profile.Validate()
 }
