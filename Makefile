@@ -2,21 +2,25 @@
 #
 #   make ci      - everything a PR must pass: vet, build, race tests,
 #                  multi-loop conformance/race under -race -count=2,
-#                  short-mode benchmarks
+#                  replay determinism, short-mode benchmarks
 #   make test    - plain test run (tier-1: go build ./... && go test ./...)
 #   make race    - race-detector run over the lock-free scheduler/pool layers
 #                  plus the real-goroutine runtime
 #   make race-multiloop - the multi-tenant conformance + registry race suite
 #                  under -race -count=2, so flaky interleavings surface in
 #                  CI, not in production
+#   make replay-determinism - record a simulated run, exact-replay it twice,
+#                  assert the two replays serialize byte-identically (the
+#                  record & replay subsystem's end-to-end determinism gate)
 #   make bench   - the full benchmark harness (figures + micro-benchmarks)
 #   make bench-short - benchmarks compiled and run once per case (smoke)
 
 GO ?= go
+REPLAYTMP := .replaytmp
 
-.PHONY: ci vet build test race race-multiloop bench bench-short
+.PHONY: ci vet build test race race-multiloop replay-determinism bench bench-short
 
-ci: vet build race race-multiloop bench-short
+ci: vet build race race-multiloop replay-determinism bench-short
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +39,15 @@ race-multiloop:
 	$(GO) test -race -count=2 -run 'MultiTenant|Registry|MultiLoop' ./internal/core/ ./internal/rt/ ./internal/sim/
 	$(GO) test -race -count=2 ./internal/fair/
 
+replay-determinism:
+	rm -rf $(REPLAYTMP) && mkdir -p $(REPLAYTMP)
+	$(GO) run ./cmd/aidtrace -app EP -sched aid-dynamic,1,5 -record $(REPLAYTMP)/rec.jsonl
+	$(GO) run ./cmd/aidtrace -replay $(REPLAYTMP)/rec.jsonl -o $(REPLAYTMP)/replay1.jsonl > /dev/null
+	$(GO) run ./cmd/aidtrace -replay $(REPLAYTMP)/rec.jsonl -o $(REPLAYTMP)/replay2.jsonl > /dev/null
+	cmp $(REPLAYTMP)/replay1.jsonl $(REPLAYTMP)/replay2.jsonl
+	$(GO) run ./cmd/aidtrace -diff $(REPLAYTMP)/replay1.jsonl,$(REPLAYTMP)/replay2.jsonl > /dev/null
+	rm -rf $(REPLAYTMP)
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -42,3 +55,4 @@ bench-short:
 	$(GO) test -short -run=XXX -bench=BenchmarkChunkRemoval -benchtime=100000x ./internal/pool/
 	$(GO) test -short -run=XXX -bench=BenchmarkWorkShareSteal -benchtime=100000x .
 	$(GO) test -short -run=XXX -bench=BenchmarkMultiLoop -benchtime=2x ./internal/rt/
+	$(GO) test -short -run=XXX -bench='BenchmarkReplay(Exact|WhatIf)' -benchtime=5x ./internal/replay/

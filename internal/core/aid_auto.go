@@ -57,7 +57,15 @@ type AIDAuto struct {
 	k        float64
 	assigned int
 	dyn      *AIDDynamic // initialized lazily for irregular loops
+
+	// observe, when non-nil, receives the classification decision and is
+	// forwarded to the adopted AID-dynamic instance (decision-capture hook
+	// of the record & replay subsystem). Set before the first Next call.
+	observe func(PhaseEvent)
 }
+
+// SetPhaseObserver implements PhaseObservable.
+func (a *AIDAuto) SetPhaseObserver(fn func(PhaseEvent)) { a.observe = fn }
 
 // NewAIDAuto returns an adaptive scheduler. chunk is the sampling chunk, pct
 // the AID-hybrid share used for regular loops, major the AID-dynamic Major
@@ -164,6 +172,9 @@ func (a *AIDAuto) decide() {
 		// Hand the remaining pool to an AID-dynamic instance seeded with
 		// the estimated R, skipping its own sampling phase.
 		a.dyn = newAIDDynamicAdopting(a.info, a.chunk, a.major, a.ws, a.sf)
+		if a.observe != nil {
+			a.dyn.SetPhaseObserver(a.observe)
+		}
 		return
 	}
 	denom := 0.0
@@ -216,6 +227,14 @@ func (a *AIDAuto) Next(tid int, nowNs int64) (Assign, bool) {
 		}
 		if last {
 			a.decide()
+			if a.observe != nil {
+				kind := PhaseAutoUniform
+				if a.irregular {
+					kind = PhaseAutoIrregular
+				}
+				a.observe(PhaseEvent{TimeNs: nowNs, Tid: tid, Epoch: 1,
+					Kind: kind, SF: append([]float64(nil), a.sf...)})
+			}
 			if a.irregular {
 				st.state = stDrain // bookkeeping only; dyn takes over
 				dyn := a.dyn

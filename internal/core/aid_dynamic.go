@@ -56,7 +56,17 @@ type AIDDynamic struct {
 	// Ablation toggles (see SetAblation); set before the first Next call.
 	noTailSwitch bool
 	noSMClamp    bool
+
+	// observe, when non-nil, receives R publications and the tail switch
+	// (the decision-capture hook of the record & replay subsystem). Set
+	// before the first Next call. Epoch transitions invoke it inside the
+	// transition window; the tail switch invokes it from whichever thread
+	// won the CAS, possibly concurrently with a transition.
+	observe func(PhaseEvent)
 }
+
+// SetPhaseObserver implements PhaseObservable.
+func (a *AIDDynamic) SetPhaseObserver(fn func(PhaseEvent)) { a.observe = fn }
 
 type aidDynThread struct {
 	state  threadState
@@ -238,7 +248,11 @@ func (a *AIDDynamic) phaseSpan() int64 {
 // loop finishes under dynamic(m).
 func (a *AIDDynamic) aidAssign(tid int, st *aidDynThread, asg *Assign, nowNs int64) (Assign, bool) {
 	if !a.tail.Load() && !a.noTailSwitch && a.ws.Remaining() <= a.phaseSpan() {
-		a.tail.Store(true)
+		if a.tail.CompareAndSwap(false, true) && a.observe != nil {
+			// The CAS winner reports the switch exactly once.
+			a.observe(PhaseEvent{TimeNs: nowNs, Tid: tid,
+				Epoch: int(a.phase.epoch()), Kind: PhaseTailSwitch})
+		}
 	}
 	if a.tail.Load() {
 		st.state = stDrain
@@ -312,6 +326,10 @@ func (a *AIDDynamic) Next(tid int, nowNs int64) (Assign, bool) {
 				rv := a.computeInitialR()
 				a.r.Store(&rv)
 				a.sc.Reset()
+				if a.observe != nil {
+					a.observe(PhaseEvent{TimeNs: nowNs, Tid: tid, Epoch: 1,
+						Kind: PhaseRInitial, SF: append([]float64(nil), rv...)})
+				}
 				a.phase.advance(1, a.info.NThreads)
 				return a.aidAssign(tid, st, asg, nowNs)
 			}
@@ -350,6 +368,10 @@ func (a *AIDDynamic) Next(tid int, nowNs int64) (Assign, bool) {
 			if a.phase.complete(st.epoch) {
 				a.smoothR()
 				a.sc.Reset()
+				if a.observe != nil {
+					a.observe(PhaseEvent{TimeNs: nowNs, Tid: tid, Epoch: int(st.epoch) + 1,
+						Kind: PhaseRSmoothed, SF: append([]float64(nil), *a.r.Load()...)})
+				}
 				a.phase.advance(st.epoch+1, a.info.NThreads)
 				return a.aidAssign(tid, st, asg, nowNs)
 			}

@@ -93,7 +93,15 @@ type AIDHybrid struct {
 	sf       []float64 // per core type, relative to the slowest sampled type
 	k        float64
 	assigned atomic.Int32
+
+	// observe, when non-nil, receives the sampling→AID transition (the
+	// decision-capture hook of the record & replay subsystem). Set before
+	// the first Next call; invoked inside the transition window.
+	observe func(PhaseEvent)
 }
+
+// SetPhaseObserver implements PhaseObservable.
+func (a *AIDHybrid) SetPhaseObserver(fn func(PhaseEvent)) { a.observe = fn }
 
 // NewAIDStatic returns an AID-static scheduler with the given sampling
 // chunk. The paper uses chunk 1 in all experiments (§5A).
@@ -301,6 +309,10 @@ func (a *AIDHybrid) Next(tid int, nowNs int64) (Assign, bool) {
 				// Last sampler: single-threaded transition window.
 				a.sf = a.computeSF()
 				a.k = a.computeK(a.sf, a.pct)
+				if a.observe != nil {
+					a.observe(PhaseEvent{TimeNs: nowNs, Tid: tid, Epoch: 1,
+						Kind: PhaseSFPublished, SF: append([]float64(nil), a.sf...)})
+				}
 				a.phase.advance(1, a.info.NThreads)
 				return a.finalAssign(tid, st, asg)
 			}

@@ -1,0 +1,59 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/rt"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// benchRecord records one EP-shaped loop under AID-dynamic for replaying.
+func benchRecord(b *testing.B) *trace.Record {
+	b.Helper()
+	sched, err := rt.ParseSchedule("aid-dynamic,1,5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := amp.PlatformA()
+	rec := trace.NewRecorder()
+	cfg := sim.Config{Platform: pl, NThreads: pl.NumCores(), Factory: sched.Factory(), Recorder: rec}
+	spec := sim.LoopSpec{
+		Name:    "ep-main",
+		NI:      16384,
+		Profile: amp.Profile{ILP: 0.25, MemIntensity: 0.05, FootprintMB: 0.1},
+		Cost:    sim.BlockNoisyCost{Base: 120000, Amp: 0.35, BlockLen: 256, Seed: 0xE9},
+	}
+	if _, err := sim.RunLoop(cfg, spec, 0); err != nil {
+		b.Fatal(err)
+	}
+	rec.SetLoopSchedule(0, sched.Canonical())
+	return rec.Record()
+}
+
+// BenchmarkReplayExact measures a full exact replay — script compilation,
+// virtual-time re-execution, verification — of a recorded EP run. Wired
+// into `make bench-short` as the replay smoke case: a failed replay fails
+// the benchmark.
+func BenchmarkReplayExact(b *testing.B) {
+	rec := benchRecord(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayWhatIf measures a what-if replay under a swapped
+// scheduler (the regression-hunting inner loop).
+func BenchmarkReplayWhatIf(b *testing.B) {
+	rec := benchRecord(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WhatIf(rec, WhatIfConfig{Schedule: "aid-static"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

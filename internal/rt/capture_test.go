@@ -1,0 +1,199 @@
+package rt
+
+import (
+	"bytes"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// coverageFromEvents asserts the grant events tile [0, n) exactly once and
+// returns the number of retire events.
+func coverageFromEvents(t *testing.T, evs []trace.ChunkEvent, n int64) int {
+	t.Helper()
+	seen := make([]int8, n)
+	retires := 0
+	for _, ev := range evs {
+		if ev.Retire {
+			retires++
+			continue
+		}
+		for i := ev.Lo; i < ev.Hi; i++ {
+			seen[i]++
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("iteration %d granted %d times", i, c)
+		}
+	}
+	return retires
+}
+
+// TestTeamParallelForCapturesTimeline is the satellite check: the real
+// executor now produces a trace.Trace timeline, where before only the
+// simulator did.
+func TestTeamParallelForCapturesTimeline(t *testing.T) {
+	team, err := NewTeam(TeamConfig{NThreads: 4, Schedule: Schedule{Kind: KindAIDStatic}, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The body yields after each chunk: with a no-op body on GOMAXPROCS=1
+	// the first worker drains the whole pool before the rest of the fleet
+	// wakes, sampling never completes, and no SF transition exists to
+	// capture. Cooperative rotation guarantees every worker participates.
+	const n = 20000
+	var ran atomic.Int64
+	stats, err := team.ParallelForChunkedStats(n, func(_ int, lo, hi int64) {
+		ran.Add(hi - lo)
+		runtime.Gosched()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran %d iterations, want %d", ran.Load(), n)
+	}
+	if stats.Trace == nil {
+		t.Fatal("capture produced no timeline")
+	}
+	if got := stats.Trace.NThreads(); got != 4 {
+		t.Fatalf("timeline has %d threads, want 4", got)
+	}
+	totalRun := int64(0)
+	for tid := 0; tid < 4; tid++ {
+		totalRun += stats.Trace.TimeIn(tid, trace.Running)
+		if stats.Trace.TimeIn(tid, trace.Sched) <= 0 {
+			t.Errorf("thread %d recorded no Sched time", tid)
+		}
+	}
+	if totalRun <= 0 {
+		t.Error("timeline recorded no Running time")
+	}
+	if stats.EndNs <= stats.StartNs {
+		t.Errorf("loop bounds [%d,%d] not increasing", stats.StartNs, stats.EndNs)
+	}
+	if retires := coverageFromEvents(t, stats.Events, n); retires != 4 {
+		t.Errorf("%d retire events, want one per worker", retires)
+	}
+	// AID-static publishes exactly one SF transition.
+	found := false
+	for _, p := range stats.Phases {
+		if p.Kind == "sf-published" && len(p.SF) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no sf-published phase captured: %+v", stats.Phases)
+	}
+	// Events must be time-ordered with per-worker sequence preserved.
+	perTid := map[int]int64{}
+	for i, ev := range stats.Events {
+		if i > 0 && ev.TimeNs < stats.Events[i-1].TimeNs {
+			t.Fatalf("event %d out of time order", i)
+		}
+		if last, ok := perTid[ev.Tid]; ok && ev.Seq <= last {
+			t.Fatalf("worker %d capture sequence not increasing", ev.Tid)
+		}
+		perTid[ev.Tid] = ev.Seq
+	}
+}
+
+// TestTeamCaptureOffByDefault: without Capture the hot path must not pay
+// for tapes and the stats carry no timeline.
+func TestTeamCaptureOffByDefault(t *testing.T) {
+	team, err := NewTeam(TeamConfig{NThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := team.ParallelForChunkedStats(100, func(_ int, _, _ int64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Trace != nil || stats.Events != nil || stats.Phases != nil {
+		t.Error("capture fields populated without Capture")
+	}
+}
+
+// TestRegistryBuildRecordMultiLoop captures two concurrent loops and checks
+// the assembled record is a valid, codec-round-trippable multi-loop record.
+func TestRegistryBuildRecordMultiLoop(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{NThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	const n0, n1 = 6000, 3000
+	l0, err := reg.Submit(LoopRequest{Name: "alpha", N: n0, Capture: true, Weight: 2,
+		Schedule: Schedule{Kind: KindAIDDynamic}, Body: func(_ int, _, _ int64) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := reg.Submit(LoopRequest{Name: "beta", N: n1, Capture: true,
+		Schedule: Schedule{Kind: KindDynamic, Chunk: 16}, Body: func(_ int, _, _ int64) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0.Wait()
+	l1.Wait()
+	rec, err := reg.BuildRecord(l0, l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Engine != "rt" || rec.NThreads != 4 || len(rec.Loops) != 2 {
+		t.Fatalf("record header wrong: %+v", rec)
+	}
+	if rec.Policy == "" {
+		t.Error("multi-loop record carries no policy name")
+	}
+	if rec.Loops[0].Schedule != "aid-dynamic,1,5" || rec.Loops[1].Schedule != "dynamic,16" {
+		t.Errorf("canonical schedules wrong: %q %q", rec.Loops[0].Schedule, rec.Loops[1].Schedule)
+	}
+	var ev0, ev1 []trace.ChunkEvent
+	for _, ev := range rec.Events {
+		switch ev.Loop {
+		case 0:
+			ev0 = append(ev0, ev)
+		case 1:
+			ev1 = append(ev1, ev)
+		default:
+			t.Fatalf("event references loop %d", ev.Loop)
+		}
+		if !ev.Retire && ev.Cost <= 0 {
+			// A zero-duration chunk on a coarse clock is possible, but the
+			// derived cost must then be zero, never negative.
+			if ev.Cost < 0 {
+				t.Fatalf("event has negative derived cost: %+v", ev)
+			}
+		}
+	}
+	coverageFromEvents(t, ev0, n0)
+	coverageFromEvents(t, ev1, n1)
+	var buf bytes.Buffer
+	if err := trace.EncodeJSONL(&buf, rec); err != nil {
+		t.Fatalf("record does not encode: %v", err)
+	}
+	if _, err := trace.DecodeJSONL(&buf); err != nil {
+		t.Fatalf("record does not decode: %v", err)
+	}
+}
+
+// TestBuildRecordRejectsUncaptured: a loop without capture cannot be
+// assembled into a record.
+func TestBuildRecordRejectsUncaptured(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{NThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	l, err := reg.Submit(LoopRequest{N: 100, Body: func(_ int, _, _ int64) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Wait()
+	if _, err := reg.BuildRecord(l); err == nil {
+		t.Error("BuildRecord accepted an uncaptured loop")
+	}
+}

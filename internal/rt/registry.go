@@ -2,6 +2,7 @@ package rt
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/amp"
 	"repro/internal/core"
 	"repro/internal/fair"
+	"repro/internal/trace"
 )
 
 // Registry is the multi-loop executor: it owns a fixed fleet of worker
@@ -40,7 +42,9 @@ type Registry struct {
 	platform *amp.Platform
 	nthreads int
 	binding  amp.Binding
+	profile  amp.Profile
 	slowdown []float64
+	types    []int // per-worker home core type (cluster index)
 	policy   fair.Policy
 	base     time.Time
 
@@ -128,9 +132,14 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		platform: pl,
 		nthreads: nthreads,
 		binding:  cfg.Binding,
+		profile:  cfg.Profile,
 		slowdown: fleetSlowdowns(pl, nthreads, cfg.Binding, cfg.Profile),
+		types:    make([]int, nthreads),
 		policy:   cfg.Policy,
 		base:     time.Now(),
+	}
+	for tid := 0; tid < nthreads; tid++ {
+		r.types[tid] = pl.ClusterOf(pl.CoreOf(tid, nthreads, cfg.Binding))
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.wg.Add(nthreads)
@@ -167,6 +176,9 @@ func (r *Registry) loopInfo(n int64) core.LoopInfo {
 
 // LoopRequest describes one loop submission.
 type LoopRequest struct {
+	// Name identifies the loop in reports and run records; "" selects
+	// "loop-<id>".
+	Name string
 	// N is the trip count.
 	N int64
 	// Schedule selects the scheduling method (the zero value is the plain
@@ -176,17 +188,26 @@ type LoopRequest struct {
 	Weight int
 	// Body executes iterations [lo, hi) on fleet worker tid.
 	Body func(tid int, lo, hi int64)
+	// Capture records the loop's real execution: wall-clock per-worker
+	// timelines, every chunk grant, and the scheduler's phase transitions.
+	// Workers append to private per-worker tapes (the lock-free hot path
+	// stays lock free) which are merged when the loop's barrier releases;
+	// the result lands in LoopStats.Trace/Events/Phases and feeds
+	// Registry.BuildRecord.
+	Capture bool
 }
 
 // Loop is the handle of one admitted submission. Wait (or Done) observes
 // the loop's own barrier: it releases when this loop's iterations are done,
 // independent of the rest of the fleet's work.
 type Loop struct {
-	id     uint64
-	weight int
-	n      int64
-	sched  core.Scheduler
-	body   func(tid int, lo, hi int64)
+	id       uint64
+	name     string
+	weight   int
+	n        int64
+	schedule Schedule
+	sched    core.Scheduler
+	body     func(tid int, lo, hi int64)
 
 	// iters and accesses are worker-indexed: slot tid is written only by
 	// worker tid and published to the waiter by close(done), which
@@ -196,6 +217,13 @@ type Loop struct {
 	accesses []int64
 	retired  []bool // guarded by Registry.mu
 	nretired int    // guarded by Registry.mu
+
+	// capture is non-nil when the loop records its execution: slot tid is
+	// a private tape appended only by worker tid (published like iters).
+	// finishNs[tid] is the worker's retirement time on the fleet clock.
+	capture  []paddedTape
+	finishNs []int64
+	startNs  int64
 
 	submitted time.Time
 	latency   time.Duration
@@ -244,8 +272,10 @@ func (r *Registry) Submit(req LoopRequest) (*Loop, error) {
 		return nil, err
 	}
 	l := &Loop{
+		name:      req.Name,
 		weight:    req.Weight,
 		n:         req.N,
+		schedule:  req.Schedule,
 		sched:     sched,
 		body:      req.Body,
 		iters:     make([]int64, r.nthreads),
@@ -254,6 +284,21 @@ func (r *Registry) Submit(req LoopRequest) (*Loop, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	if req.Capture {
+		l.capture = make([]paddedTape, r.nthreads)
+		l.finishNs = make([]int64, r.nthreads)
+		l.startNs = r.now()
+		if po, ok := sched.(core.PhaseObservable); ok {
+			// The observer runs on the transition-owning worker and appends
+			// to that worker's private tape, so the capture path inherits
+			// the schedulers' lock freedom.
+			po.SetPhaseObserver(func(ev core.PhaseEvent) {
+				tp := &l.capture[ev.Tid].WorkerTape
+				tp.Phases = append(tp.Phases, trace.PhaseEvent{TimeNs: ev.TimeNs,
+					Tid: ev.Tid, Epoch: ev.Epoch, Kind: ev.Kind, SF: ev.SF})
+			})
+		}
+	}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -261,11 +306,124 @@ func (r *Registry) Submit(req LoopRequest) (*Loop, error) {
 	}
 	l.id = r.nextID
 	r.nextID++
+	if l.name == "" {
+		l.name = fmt.Sprintf("loop-%d", l.id)
+	}
 	r.run = append(r.run, l)
 	r.gen.Add(1)
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	return l, nil
+}
+
+// BuildRecord assembles a serializable run record from completed captured
+// loops — the real-engine analog of the simulator's native recording. All
+// loops must have been submitted to this registry with Capture set and have
+// released their barriers. Events are merged into global time order (per-
+// worker capture order breaks timestamp ties) and each event's abstract
+// work units are derived from its measured wall time and the platform speed
+// model, so internal/replay can re-execute and what-if the run in virtual
+// time.
+func (r *Registry) BuildRecord(loops ...*Loop) (*trace.Record, error) {
+	if len(loops) == 0 {
+		return nil, fmt.Errorf("rt: no loops to record")
+	}
+	rec := trace.NewRecorder()
+	// The modeled per-worker speed converts measured wall time to work
+	// units. Cluster occupancy is the full fleet, matching the simulator's
+	// single-loop model where every worker is resident.
+	occupancy := make([]int, len(r.platform.Clusters))
+	for tid := 0; tid < r.nthreads; tid++ {
+		occupancy[r.types[tid]]++
+	}
+	speed := make([]float64, r.nthreads)
+	for tid := 0; tid < r.nthreads; tid++ {
+		cpu := r.platform.CoreOf(tid, r.nthreads, r.binding)
+		speed[tid] = r.platform.Speed(cpu, r.profile, occupancy[r.types[tid]])
+	}
+	startNs := int64(-1)
+	var endNs int64
+	for _, l := range loops {
+		select {
+		case <-l.done:
+		default:
+			return nil, fmt.Errorf("rt: loop %q has not released its barrier", l.name)
+		}
+		if l.capture == nil {
+			return nil, fmt.Errorf("rt: loop %q was not submitted with Capture", l.name)
+		}
+		if startNs == -1 || l.startNs < startNs {
+			startNs = l.startNs
+		}
+		if l.stats.EndNs > endNs {
+			endNs = l.stats.EndNs
+		}
+	}
+	policy := ""
+	if len(loops) > 1 {
+		policy = r.policy.Name()
+	}
+	if err := rec.BeginRun(trace.RunMeta{
+		Engine:   "rt",
+		Platform: trace.PlatformRecordOf(r.platform),
+		NThreads: r.nthreads,
+		Binding:  r.binding.String(),
+		Policy:   policy,
+		StartNs:  startNs,
+	}); err != nil {
+		return nil, err
+	}
+	var evs []trace.ChunkEvent
+	var phs []trace.PhaseEvent
+	for _, l := range loops {
+		idx := rec.AddLoop(trace.LoopRecord{
+			Name:      l.name,
+			NI:        l.n,
+			Weight:    l.weight,
+			Scheduler: l.sched.Name(),
+			Schedule:  l.schedule.Canonical(),
+			Profile:   r.profile,
+		})
+		for _, ev := range l.stats.Events {
+			ev.Loop = idx
+			if !ev.Retire {
+				ev.Cost = float64(ev.ExecNs) * speed[ev.Tid]
+			}
+			evs = append(evs, ev)
+		}
+		for _, p := range l.stats.Phases {
+			p.Loop = idx
+			phs = append(phs, p)
+		}
+	}
+	sortEvents(evs)
+	for _, ev := range evs {
+		rec.Chunk(ev)
+	}
+	// Per-loop phase streams are already sorted; interleave them
+	// chronologically across loops.
+	sort.SliceStable(phs, func(i, j int) bool {
+		if phs[i].TimeNs != phs[j].TimeNs {
+			return phs[i].TimeNs < phs[j].TimeNs
+		}
+		return phs[i].Tid < phs[j].Tid
+	})
+	for _, p := range phs {
+		rec.Phase(p)
+	}
+	// Final estimates go last: Phase() auto-derives mid-run SF samples, and
+	// the serialized trajectory must stay chronological.
+	for idx, l := range loops {
+		if l.stats.SFEstimate != nil {
+			rec.SFSample(trace.SFSample{TimeNs: l.stats.EndNs, Loop: idx,
+				SF: append([]float64(nil), l.stats.SFEstimate...)})
+		}
+	}
+	if len(loops) == 1 {
+		rec.AttachTimeline(loops[0].stats.Trace)
+	}
+	rec.EndRun(endNs - startNs)
+	return rec.Record(), nil
 }
 
 // Close stops accepting submissions, lets the already-admitted loops drain,
@@ -279,13 +437,25 @@ func (r *Registry) Close() {
 	r.wg.Wait()
 }
 
+// paddedTape is one worker's private capture buffer; the pad keeps
+// neighbouring workers' tape headers off each other's cache lines.
+type paddedTape struct {
+	trace.WorkerTape
+	_ [64]byte
+}
+
 // worker is one fleet goroutine: pick a loop under the fairness policy,
 // serve it for the granted burst of scheduler calls, repeat. The chunk
 // execution path is the same lock-free hot path as Team's — the control
-// plane (pick/retire) takes the registry lock only between bursts.
+// plane (pick/retire) takes the registry lock only between bursts, and
+// capture (when a loop requests it) appends to the worker's private tape.
 func (r *Registry) worker(tid int) {
 	defer r.wg.Done()
 	f := r.slowdown[tid]
+	// wseq totally orders this worker's captured events across loops; the
+	// wall clock alone cannot (two grants can land in the same nanosecond
+	// tick on coarse timers), and replay needs the per-worker grant order.
+	var wseq int64
 	for {
 		l, burst, gen := r.pick(tid)
 		if l == nil {
@@ -295,16 +465,43 @@ func (r *Registry) worker(tid int) {
 			if r.gen.Load() != gen {
 				break // a new loop arrived: give the policy a say
 			}
-			asg, ok := l.sched.Next(tid, r.now())
+			nowNs := r.now()
+			asg, ok := l.sched.Next(tid, nowNs)
 			l.accesses[tid] += int64(asg.PoolAccesses)
 			if !ok {
+				if l.capture != nil {
+					schedEnd := r.now()
+					tp := &l.capture[tid].WorkerTape
+					tp.Intervals = append(tp.Intervals, trace.Interval{Start: nowNs, End: schedEnd, State: trace.Sched})
+					tp.Events = append(tp.Events, trace.ChunkEvent{Seq: wseq, TimeNs: nowNs,
+						Tid: tid, Shard: r.types[tid], PoolAccesses: asg.PoolAccesses,
+						Timestamps: asg.Timestamps, Retire: true})
+					wseq++
+					l.finishNs[tid] = schedEnd
+				}
 				r.retire(l, tid)
 				break
 			}
 			l.iters[tid] += asg.N()
+			if l.capture == nil {
+				start := time.Now()
+				l.body(tid, asg.Lo, asg.Hi)
+				throttle(int64(time.Since(start)), f)
+				continue
+			}
+			schedEnd := r.now()
 			start := time.Now()
 			l.body(tid, asg.Lo, asg.Hi)
 			throttle(int64(time.Since(start)), f)
+			end := r.now()
+			tp := &l.capture[tid].WorkerTape
+			tp.Intervals = append(tp.Intervals,
+				trace.Interval{Start: nowNs, End: schedEnd, State: trace.Sched},
+				trace.Interval{Start: schedEnd, End: end, State: trace.Running})
+			tp.Events = append(tp.Events, trace.ChunkEvent{Seq: wseq, TimeNs: nowNs,
+				Tid: tid, Lo: asg.Lo, Hi: asg.Hi, Shard: r.types[tid], ExecNs: end - schedEnd,
+				PoolAccesses: asg.PoolAccesses, Timestamps: asg.Timestamps})
+			wseq++
 		}
 	}
 }
@@ -383,5 +580,65 @@ func (r *Registry) retire(l *Loop, tid int) {
 			l.stats.SFEstimate = sf
 		}
 	}
+	if l.capture != nil {
+		l.mergeCapture(r.nthreads)
+	}
 	close(l.done)
+}
+
+// mergeCapture folds the per-worker tapes into the loop's stats once the
+// barrier has released (runs under the registry lock, after every worker's
+// retirement published its tape). Sync time — each worker's wait between
+// its own retirement and the barrier release — is synthesized here, like
+// the simulator does at its implicit barrier.
+func (l *Loop) mergeCapture(nthreads int) {
+	var maxFinish int64
+	for _, f := range l.finishNs {
+		if f > maxFinish {
+			maxFinish = f
+		}
+	}
+	tr := trace.New(nthreads)
+	var evs []trace.ChunkEvent
+	var phs []trace.PhaseEvent
+	for tid := 0; tid < nthreads; tid++ {
+		tp := &l.capture[tid].WorkerTape
+		for _, iv := range tp.Intervals {
+			tr.Add(tid, iv.Start, iv.End, iv.State)
+		}
+		tr.Add(tid, l.finishNs[tid], maxFinish, trace.Sync)
+		evs = append(evs, tp.Events...)
+		phs = append(phs, tp.Phases...)
+	}
+	// Seq keeps the per-worker capture sequence (NOT reassigned here): it
+	// is the tie-break token BuildRecord needs when merging several loops'
+	// events whose wall-clock stamps collide; the Recorder assigns the
+	// global sequence when a record is built.
+	sortEvents(evs)
+	sort.Slice(phs, func(i, j int) bool {
+		if phs[i].TimeNs != phs[j].TimeNs {
+			return phs[i].TimeNs < phs[j].TimeNs
+		}
+		return phs[i].Tid < phs[j].Tid
+	})
+	l.stats.StartNs = l.startNs
+	l.stats.EndNs = maxFinish
+	l.stats.Trace = tr
+	l.stats.Events = evs
+	l.stats.Phases = phs
+}
+
+// sortEvents orders captured events chronologically; timestamp ties break
+// by thread, then by the per-worker capture sequence (the ground truth for
+// one worker's grant order, which replay depends on).
+func sortEvents(evs []trace.ChunkEvent) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].TimeNs != evs[j].TimeNs {
+			return evs[i].TimeNs < evs[j].TimeNs
+		}
+		if evs[i].Tid != evs[j].Tid {
+			return evs[i].Tid < evs[j].Tid
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
 }

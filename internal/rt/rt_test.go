@@ -399,3 +399,31 @@ func TestWorkStealSchedule(t *testing.T) {
 		t.Errorf("coverage %d, want 3000", sum.Load())
 	}
 }
+
+// TestScheduleCanonicalRoundTrip: ParseSchedule(s.Canonical()) must select
+// the same schedule — the property run records rely on to re-run a loop
+// under its recorded configuration.
+func TestScheduleCanonicalRoundTrip(t *testing.T) {
+	for _, txt := range []string{
+		"static", "static,8", "dynamic,1", "dynamic,16", "guided,2",
+		"aid-static", "aid-static,2", "aid-hybrid,70", "aid-hybrid,80,4",
+		"aid-dynamic,2,10", "aid-auto,16,64", "work-steal,4",
+	} {
+		s, err := ParseSchedule(txt)
+		if err != nil {
+			t.Fatalf("%s: %v", txt, err)
+		}
+		c := s.Canonical()
+		s2, err := ParseSchedule(c)
+		if err != nil {
+			t.Fatalf("%s -> Canonical %q does not parse: %v", txt, c, err)
+		}
+		d, d2 := s.withDefaults(), s2.withDefaults()
+		if d.Kind != d2.Kind || d.Chunk != d2.Chunk || d.Major != d2.Major || d.Pct != d2.Pct {
+			t.Errorf("%s -> %q round-trips to %+v, want %+v", txt, c, d2, d)
+		}
+		if c2 := s2.Canonical(); c2 != c {
+			t.Errorf("%s: Canonical not a fixed point: %q -> %q", txt, c, c2)
+		}
+	}
+}

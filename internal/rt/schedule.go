@@ -145,6 +145,44 @@ func (s Schedule) String() string {
 	return s.Kind.String()
 }
 
+// Canonical renders the schedule in re-parseable GOOMP_SCHEDULE syntax:
+// ParseSchedule(s.Canonical()) selects the same schedule. Run records store
+// this form so replay's what-if mode can rebuild the recorded schedule.
+// The offline-SF table of AID-static(offline-SF) has no textual syntax, so
+// Canonical returns "" for it — a record of such a run carries no
+// re-parseable schedule and what-if replay demands an explicit override
+// rather than silently substituting the online-sampling variant.
+func (s Schedule) Canonical() string {
+	d := s.withDefaults()
+	switch s.Kind {
+	case KindStatic:
+		return "static"
+	case KindStaticChunked:
+		return fmt.Sprintf("static,%d", d.Chunk)
+	case KindDynamic:
+		return fmt.Sprintf("dynamic,%d", d.Chunk)
+	case KindGuided:
+		return fmt.Sprintf("guided,%d", d.Chunk)
+	case KindAIDStatic:
+		if s.OfflineSF != nil {
+			return ""
+		}
+		return fmt.Sprintf("aid-static,%d", d.Chunk)
+	case KindAIDHybrid:
+		if d.Chunk != 1 {
+			return fmt.Sprintf("aid-hybrid,%d,%d", int(d.Pct*100+0.5), d.Chunk)
+		}
+		return fmt.Sprintf("aid-hybrid,%d", int(d.Pct*100+0.5))
+	case KindAIDDynamic:
+		return fmt.Sprintf("aid-dynamic,%d,%d", d.Chunk, d.Major)
+	case KindAIDAuto:
+		return fmt.Sprintf("aid-auto,%d,%d", d.Chunk, d.Major)
+	case KindWorkSteal:
+		return fmt.Sprintf("work-steal,%d", d.Chunk)
+	}
+	return ""
+}
+
 // Factory returns a scheduler factory for the simulator or the Team
 // executor.
 func (s Schedule) Factory() sim.SchedulerFactory {
@@ -184,7 +222,7 @@ func (s Schedule) Factory() sim.SchedulerFactory {
 //	dynamic           dynamic,<chunk>
 //	guided            guided,<chunk>
 //	aid-static        aid-static,<chunk>
-//	aid-hybrid        aid-hybrid,<pct>          (pct in percent, e.g. 80)
+//	aid-hybrid        aid-hybrid,<pct>[,<chunk>]   (pct in percent, e.g. 80)
 //	aid-dynamic       aid-dynamic,<m>,<M>
 //	aid-auto          aid-auto,<m>,<M>
 //	work-steal        work-steal,<chunk>
@@ -242,10 +280,10 @@ func ParseSchedule(text string) (Schedule, error) {
 		}
 	case "aid-hybrid":
 		s.Kind = KindAIDHybrid
-		if len(args) > 1 {
+		if len(args) > 2 {
 			return Schedule{}, fmt.Errorf("rt: too many parameters in %q", text)
 		}
-		if len(args) == 1 {
+		if len(args) >= 1 {
 			p, err := argN(0)
 			if err != nil {
 				return Schedule{}, err
@@ -254,6 +292,13 @@ func ParseSchedule(text string) (Schedule, error) {
 				return Schedule{}, fmt.Errorf("rt: AID-hybrid percentage %d out of (0,100]", p)
 			}
 			s.Pct = float64(p) / 100
+		}
+		if len(args) == 2 {
+			c, err := argN(1)
+			if err != nil {
+				return Schedule{}, err
+			}
+			s.Chunk = c
 		}
 	case "work-steal":
 		s.Kind = KindWorkSteal

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/amp"
+	"repro/internal/trace"
 )
 
 // Team executes parallel loops with real goroutines, one worker per modeled
@@ -29,6 +30,7 @@ type Team struct {
 	schedule Schedule
 	profile  amp.Profile
 	slowdown []float64 // per thread, >= 1
+	capture  bool
 }
 
 // TeamConfig configures NewTeam.
@@ -46,6 +48,10 @@ type TeamConfig struct {
 	// Profile is the instruction mix used to derive emulated slowdown
 	// factors from the platform model; the zero value is a moderate mix.
 	Profile amp.Profile
+	// Capture records every ParallelFor execution: per-worker wall-clock
+	// timelines, chunk grants and scheduler phase transitions, surfaced
+	// through LoopStats (the real-engine analog of sim.Config.Trace).
+	Capture bool
 }
 
 // NewTeam builds a team of workers.
@@ -61,6 +67,7 @@ func NewTeam(cfg TeamConfig) (*Team, error) {
 		schedule: cfg.Schedule,
 		profile:  cfg.Profile,
 		slowdown: fleetSlowdowns(pl, nthreads, cfg.Binding, cfg.Profile),
+		capture:  cfg.Capture,
 	}, nil
 }
 
@@ -119,6 +126,24 @@ type LoopStats struct {
 	// SFEstimate is the scheduler's online per-core-type speedup-factor
 	// estimate at loop end (nil when the method derives none).
 	SFEstimate []float64
+
+	// The fields below are populated only for loops submitted with
+	// LoopRequest.Capture (or run on a Team configured with Capture).
+
+	// StartNs and EndNs bound the loop on the fleet's monotonic clock
+	// (submission to barrier release).
+	StartNs, EndNs int64
+	// Trace is the merged per-worker wall-clock timeline: Sched for time
+	// inside the scheduler, Running for chunk execution (including the
+	// small-core throttle), Sync for the wait between a worker's
+	// retirement and the barrier release.
+	Trace *trace.Trace
+	// Events is the loop's chunk-grant stream in wall-clock order; Seq
+	// holds each event's per-worker capture sequence (the tie-break token
+	// Registry.BuildRecord uses when interleaving several loops).
+	Events []trace.ChunkEvent
+	// Phases is the scheduler's transition stream (AID methods only).
+	Phases []trace.PhaseEvent
 }
 
 // ParallelForChunkedStats executes body(tid, lo, hi) for every scheduled
@@ -126,8 +151,25 @@ type LoopStats struct {
 // scheduler's SF estimate. It is the instrumented core of the ParallelFor
 // family; the tid is the worker's team-local thread ID.
 func (t *Team) ParallelForChunkedStats(n int64, body func(tid int, lo, hi int64)) (LoopStats, error) {
+	stats, _, err := t.run("parallel-for", n, body, false)
+	return stats, err
+}
+
+// RecordParallelFor executes body like ParallelForChunkedStats with capture
+// forced on and additionally assembles the serializable run record — the
+// real-engine entry point of the record & replay subsystem. The record can
+// be written with trace.EncodeJSONL and re-executed (exact or what-if) by
+// internal/replay.
+func (t *Team) RecordParallelFor(name string, n int64, body func(tid int, lo, hi int64)) (*trace.Record, LoopStats, error) {
+	stats, rec, err := t.run(name, n, body, true)
+	return rec, stats, err
+}
+
+// run is the shared single-loop execution path: a dedicated fleet, one
+// submission, barrier wait, optional record assembly, teardown.
+func (t *Team) run(name string, n int64, body func(tid int, lo, hi int64), record bool) (LoopStats, *trace.Record, error) {
 	if n < 0 {
-		return LoopStats{}, fmt.Errorf("rt: negative trip count %d", n)
+		return LoopStats{}, nil, fmt.Errorf("rt: negative trip count %d", n)
 	}
 	reg, err := NewRegistry(RegistryConfig{
 		Platform: t.platform,
@@ -136,14 +178,20 @@ func (t *Team) ParallelForChunkedStats(n int64, body func(tid int, lo, hi int64)
 		Profile:  t.profile,
 	})
 	if err != nil {
-		return LoopStats{}, err
+		return LoopStats{}, nil, err
 	}
 	defer reg.Close()
-	l, err := reg.Submit(LoopRequest{N: n, Schedule: t.schedule, Body: body})
+	l, err := reg.Submit(LoopRequest{Name: name, N: n, Schedule: t.schedule, Body: body,
+		Capture: t.capture || record})
 	if err != nil {
-		return LoopStats{}, err
+		return LoopStats{}, nil, err
 	}
-	return l.Wait(), nil
+	stats := l.Wait()
+	if !record {
+		return stats, nil, nil
+	}
+	rec, err := reg.BuildRecord(l)
+	return stats, rec, err
 }
 
 // Serial runs f on the calling goroutine, corresponding to code between

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fair"
+	"repro/internal/trace"
 )
 
 // RunLoops simulates the concurrent execution of several parallel loops on
@@ -37,6 +38,11 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 	}
 	if policy == nil {
 		policy = fair.NewWeightedRoundRobin(0)
+	}
+	if cfg.Recorder != nil {
+		if err := beginRecording(cfg, policy.Name(), startNs); err != nil {
+			return nil, err
+		}
 	}
 
 	pl := cfg.Platform
@@ -73,6 +79,9 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 			return nil, fmt.Errorf("sim: building scheduler for loop %q: %w", spec.Name, err)
 		}
 		scheds[li] = s
+		if cfg.Recorder != nil {
+			recordLoop(cfg.Recorder, spec, s)
+		}
 		speed[li] = make([]float64, nt)
 		lastHi[li] = make([]int64, nt)
 		retired[li] = make([]bool, nt)
@@ -154,6 +163,11 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 		res.PoolAccesses += int64(asg.PoolAccesses)
 		if !ok {
 			end := now + int64(ovhNs)
+			if cfg.Recorder != nil {
+				cfg.Recorder.Chunk(trace.ChunkEvent{TimeNs: now, Tid: tid, Loop: li,
+					Shard: pl.ClusterOf(coreOf[tid]), PoolAccesses: asg.PoolAccesses,
+					Timestamps: asg.Timestamps, Retire: true})
+			}
 			res.SchedNs += int64(ovhNs)
 			res.Finish[tid] = end
 			clock[tid] = end
@@ -177,6 +191,10 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 						res.SFEstimate = sf
 					}
 				}
+				if cfg.Recorder != nil && res.SFEstimate != nil {
+					cfg.Recorder.SFSample(trace.SFSample{TimeNs: res.End, Loop: li,
+						SF: append([]float64(nil), res.SFEstimate...)})
+				}
 			}
 			continue
 		}
@@ -187,10 +205,25 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 		}
 		lastHi[li][tid] = asg.Hi
 
-		execNs := specs[li].Cost.RangeUnits(asg.Lo, asg.Hi) / speed[li][tid]
+		units := specs[li].Cost.RangeUnits(asg.Lo, asg.Hi)
+		execNs := units / speed[li][tid]
+		if cfg.Recorder != nil {
+			cfg.Recorder.Chunk(trace.ChunkEvent{TimeNs: now, Tid: tid, Loop: li,
+				Lo: asg.Lo, Hi: asg.Hi, Shard: pl.ClusterOf(coreOf[tid]), Cost: units,
+				ExecNs: int64(execNs), PoolAccesses: asg.PoolAccesses, Timestamps: asg.Timestamps})
+		}
 		res.SchedNs += int64(ovhNs)
 		res.Iters[tid] += asg.N()
 		clock[tid] = now + int64(ovhNs) + int64(execNs)
+	}
+	if cfg.Recorder != nil {
+		var maxEnd int64
+		for i := range results {
+			if results[i].End > maxEnd {
+				maxEnd = results[i].End
+			}
+		}
+		cfg.Recorder.EndRun(maxEnd - startNs)
 	}
 	return results, nil
 }

@@ -142,6 +142,12 @@ type Config struct {
 	Migrations []Migration
 	// Trace, when non-nil, records per-thread timelines.
 	Trace *trace.Trace
+	// Recorder, when non-nil, captures the run as a serializable
+	// trace.Record — loop descriptors, every chunk grant with its
+	// runtime-cost metadata, AID phase transitions and the SF trajectory —
+	// for internal/replay. A Recorder serves exactly one RunLoop or
+	// RunLoops call.
+	Recorder *trace.Recorder
 }
 
 // Migration is one OS-driven thread-to-core move.
@@ -222,6 +228,13 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 	sched, err := cfg.buildScheduler(spec.Name, info)
 	if err != nil {
 		return LoopResult{}, fmt.Errorf("sim: building scheduler for loop %q: %w", spec.Name, err)
+	}
+	recLoop := -1
+	if cfg.Recorder != nil {
+		if err := beginRecording(cfg, "", startNs); err != nil {
+			return LoopResult{}, err
+		}
+		recLoop = recordLoop(cfg.Recorder, spec, sched)
 	}
 
 	pl := cfg.Platform
@@ -315,6 +328,11 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 			if cfg.Trace != nil {
 				cfg.Trace.Add(tid, now, end, trace.Sched)
 			}
+			if cfg.Recorder != nil {
+				cfg.Recorder.Chunk(trace.ChunkEvent{TimeNs: now, Tid: tid, Loop: recLoop,
+					Shard: pl.ClusterOf(coreOf[tid]), PoolAccesses: asg.PoolAccesses,
+					Timestamps: asg.Timestamps, Retire: true})
+			}
 			res.SchedNs += int64(ovhNs)
 			res.Finish[tid] = end
 			active[tid] = false
@@ -328,12 +346,18 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 		}
 		lastHi[tid] = asg.Hi
 
-		execNs := spec.Cost.RangeUnits(asg.Lo, asg.Hi) / speed[tid]
+		units := spec.Cost.RangeUnits(asg.Lo, asg.Hi)
+		execNs := units / speed[tid]
 		schedEnd := now + int64(ovhNs)
 		runEnd := schedEnd + int64(execNs)
 		if cfg.Trace != nil {
 			cfg.Trace.Add(tid, now, schedEnd, trace.Sched)
 			cfg.Trace.Add(tid, schedEnd, runEnd, trace.Running)
+		}
+		if cfg.Recorder != nil {
+			cfg.Recorder.Chunk(trace.ChunkEvent{TimeNs: now, Tid: tid, Loop: recLoop,
+				Lo: asg.Lo, Hi: asg.Hi, Shard: pl.ClusterOf(coreOf[tid]), Cost: units,
+				ExecNs: int64(execNs), PoolAccesses: asg.PoolAccesses, Timestamps: asg.Timestamps})
 		}
 		res.SchedNs += int64(ovhNs)
 		res.Iters[tid] += asg.N()
@@ -362,6 +386,16 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 		}
 	}
 	res.SchedNs += joinNs
+	if cfg.Recorder != nil {
+		if res.SFEstimate != nil {
+			cfg.Recorder.SFSample(trace.SFSample{TimeNs: res.End, Loop: recLoop,
+				SF: append([]float64(nil), res.SFEstimate...)})
+		}
+		if cfg.Trace != nil {
+			cfg.Recorder.AttachTimeline(cfg.Trace)
+		}
+		cfg.Recorder.EndRun(res.End - res.Start)
+	}
 	return res, nil
 }
 

@@ -77,8 +77,13 @@ func (t *Trace) NThreads() int { return len(t.perThread) }
 
 // Add appends an interval for a thread. Zero-length intervals are dropped;
 // an interval that continues the previous one in the same state is merged.
-// Intervals must be appended in non-decreasing time order per thread.
+// Intervals must be appended in non-decreasing time order per thread. An
+// out-of-range tid panics with a descriptive message (it is a programming
+// error in the recording engine, not a recoverable condition).
 func (t *Trace) Add(tid int, start, end int64, s State) {
+	if tid < 0 || tid >= len(t.perThread) {
+		panic(fmt.Sprintf("trace: Add tid %d out of range [0,%d)", tid, len(t.perThread)))
+	}
 	if end <= start {
 		return
 	}

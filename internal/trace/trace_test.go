@@ -167,3 +167,56 @@ func TestStateString(t *testing.T) {
 		t.Errorf("unknown state: %q", State(9).String())
 	}
 }
+
+func TestAddPanicsOnBadTid(t *testing.T) {
+	for _, tid := range []int{-1, 2, 100} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("Add(tid=%d) did not panic", tid)
+					return
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "out of range") || !strings.Contains(msg, "tid") {
+					t.Errorf("Add(tid=%d) panic %v lacks a descriptive message", tid, r)
+				}
+			}()
+			New(2).Add(tid, 0, 10, Running)
+		}()
+	}
+}
+
+func TestAllSyncThreads(t *testing.T) {
+	// Threads that never ran anything (e.g. a zero-trip loop's barrier wait)
+	// must not divide by zero or report phantom imbalance.
+	tr := New(3)
+	for tid := 0; tid < 3; tid++ {
+		tr.Add(tid, 0, 500, Sync)
+	}
+	if got := tr.ImbalancePct(); got != 0 {
+		t.Errorf("ImbalancePct = %v, want 0 for all-Sync trace", got)
+	}
+	if got := tr.SchedOverheadPct(); got != 0 {
+		t.Errorf("SchedOverheadPct = %v, want 0", got)
+	}
+	if got := tr.Utilization(1); got != 0 {
+		t.Errorf("Utilization = %v, want 0", got)
+	}
+	out := tr.Render(20)
+	if !strings.Contains(out, "....................") {
+		t.Errorf("all-Sync render should be dotted: %q", out)
+	}
+}
+
+func TestSingleMergedInterval(t *testing.T) {
+	// Contiguous same-state Adds collapse to ONE stored interval, so the
+	// serialized timeline of a merged trace stays minimal.
+	tr := New(1)
+	tr.Add(0, 0, 10, Running)
+	tr.Add(0, 10, 25, Running)
+	tr.Add(0, 25, 40, Running)
+	if ivs := tr.Intervals(0); len(ivs) != 1 || ivs[0] != (Interval{Start: 0, End: 40, State: Running}) {
+		t.Errorf("intervals = %+v, want one merged [0,40) Running", ivs)
+	}
+}
