@@ -13,14 +13,18 @@
 #                  assert the two replays serialize byte-identically (the
 #                  record & replay subsystem's end-to-end determinism gate)
 #   make bench   - the full benchmark harness (figures + micro-benchmarks)
-#   make bench-short - benchmarks compiled and run once per case (smoke)
+#   make bench-short - benchmarks compiled and run once per case (smoke);
+#                  also regenerates BENCH_multiloop.json from the registry
+#                  throughput rows via cmd/benchjson
+#   make bench-check - validate that BENCH_multiloop.json parses (CI gate)
 
 GO ?= go
 REPLAYTMP := .replaytmp
+BENCHTMP := .benchtmp
 
-.PHONY: ci vet build test race race-multiloop replay-determinism bench bench-short
+.PHONY: ci vet build test race race-multiloop replay-determinism bench bench-short bench-check
 
-ci: vet build race race-multiloop replay-determinism bench-short
+ci: vet build race race-multiloop replay-determinism bench-short bench-check
 
 vet:
 	$(GO) vet ./...
@@ -51,8 +55,16 @@ replay-determinism:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# The MultiLoop rows are captured to a temp file and converted to JSON in a
+# separate step (no pipeline, so a failing `go test` exit code is not masked).
 bench-short:
 	$(GO) test -short -run=XXX -bench=BenchmarkChunkRemoval -benchtime=100000x ./internal/pool/
 	$(GO) test -short -run=XXX -bench=BenchmarkWorkShareSteal -benchtime=100000x .
-	$(GO) test -short -run=XXX -bench=BenchmarkMultiLoop -benchtime=2x ./internal/rt/
+	$(GO) test -short -run=XXX -bench=BenchmarkMultiLoop -benchtime=2x ./internal/rt/ > $(BENCHTMP)
+	cat $(BENCHTMP)
+	$(GO) run ./cmd/benchjson -o BENCH_multiloop.json $(BENCHTMP)
+	rm -f $(BENCHTMP)
 	$(GO) test -short -run=XXX -bench='BenchmarkReplay(Exact|WhatIf)' -benchtime=5x ./internal/replay/
+
+bench-check:
+	$(GO) run ./cmd/benchjson -check BENCH_multiloop.json

@@ -9,6 +9,8 @@
 //	aidserve -loops 16 -iters 500000          # heavier replay
 //	aidserve -policy fcfs                     # run-to-completion baseline
 //	aidserve -weights 4,1,1 -sched dynamic,8  # weighted tenants
+//	aidserve -policy sf-aware -sched aid-dynamic,1,5,rw
+//	                                          # SF-aware steering + re-cut pools
 //	aidserve -virtual                         # same replay in virtual time
 //
 // Real mode runs goroutine workers with emulated asymmetry and reports
@@ -38,7 +40,7 @@ func main() {
 	iters := flag.Int64("iters", 200_000, "iterations per loop")
 	threads := flag.Int("threads", 0, "fleet size (0 = platform core count)")
 	schedText := flag.String("sched", "aid-dynamic,1,5", "loop schedule in GOOMP_SCHEDULE syntax")
-	policyName := flag.String("policy", "wrr", "fairness policy: wrr|fcfs")
+	policyName := flag.String("policy", "wrr", "fairness policy: wrr|fcfs|sf-aware")
 	weightsCSV := flag.String("weights", "", "comma-separated loop weights, cycled over the loops (default all 1)")
 	spin := flag.Int("spin", 200, "per-iteration spin work units (real mode)")
 	virtual := flag.Bool("virtual", false, "replay in the discrete-event engine instead of real goroutines")
@@ -80,8 +82,10 @@ func parsePolicy(name string) (fair.Policy, error) {
 		return fair.NewWeightedRoundRobin(0), nil
 	case "fcfs":
 		return fair.NewFCFS(), nil
+	case "sf-aware":
+		return fair.NewSFAware(0, 0), nil
 	}
-	return nil, fmt.Errorf("unknown policy %q (want wrr or fcfs)", name)
+	return nil, fmt.Errorf("unknown policy %q (want wrr, fcfs or sf-aware)", name)
 }
 
 func run(loops int, iters int64, threads int, schedText, policyName, weightsCSV string, spin int, virtual bool) error {

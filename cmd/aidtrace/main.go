@@ -61,7 +61,7 @@ func main() {
 	replayPath := flag.String("replay", "", "exact-replay the given record file")
 	whatifPath := flag.String("whatif", "", "what-if replay the given record file (see -sched/-policy)")
 	diffPaths := flag.String("diff", "", "diff two record files: a.jsonl,b.jsonl")
-	policy := flag.String("policy", "", "what-if fairness policy for multi-loop records: wrr or fcfs")
+	policy := flag.String("policy", "", "what-if fairness policy for multi-loop records: wrr, fcfs or sf-aware")
 	outPath := flag.String("o", "", "write the replayed run's record to this JSONL file")
 	tol := flag.Float64("tol", 2.0, "regression tolerance in percent for -diff and the -whatif report")
 	flag.Parse()

@@ -1,0 +1,152 @@
+// benchjson converts `go test -bench` text output into a machine-readable
+// JSON document, and validates such documents — the CI glue that turns the
+// bench-short smoke run into a committed, diffable artifact
+// (BENCH_multiloop.json).
+//
+// Usage:
+//
+//	go test -bench=. ./... > bench.txt
+//	benchjson bench.txt                 # JSON to stdout
+//	benchjson -o BENCH.json bench.txt   # write to file
+//	benchjson -check BENCH.json         # validate: parses and is non-empty
+//
+// With no file argument the benchmark text is read from stdin. The parser
+// accepts the standard line format
+//
+//	BenchmarkName/sub=1-8   	 123	 456 ns/op	 789 B/op	 2 allocs/op
+//
+// keeping every value/unit pair (including custom b.ReportMetric units such
+// as iters/s); non-benchmark lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the name (with -cpu suffix preserved), the
+// run count, and every reported metric keyed by unit.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	check := flag.String("check", "", "validate an existing JSON file and exit")
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parse(in)
+	if err == nil && len(results) == 0 {
+		err = fmt.Errorf("no benchmark lines found")
+	}
+	if err == nil {
+		err = emit(results, *out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark result lines from go test -bench output.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, run count, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func emit(results []Result, path string) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// checkFile validates that path holds a non-empty benchjson document whose
+// entries all carry a name and at least one metric.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("%s: no benchmark entries", path)
+	}
+	for i, r := range results {
+		if r.Name == "" {
+			return fmt.Errorf("%s: entry %d has no name", path, i)
+		}
+		if len(r.Metrics) == 0 {
+			return fmt.Errorf("%s: entry %q has no metrics", path, r.Name)
+		}
+	}
+	return nil
+}

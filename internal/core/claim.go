@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/pool"
+import (
+	"math"
+
+	"repro/internal/pool"
+)
 
 // claimState is the per-thread claim bookkeeping shared by every AID
 // scheduler: the δ counter, the size of the last served chunk, and the
@@ -76,4 +80,28 @@ func spanN(rs []pool.Range) int64 {
 		n += r.N()
 	}
 	return n
+}
+
+// sfWeights converts per-type thread counts and a speedup-factor table to
+// pool partition weights proportional to each type's consumption rate
+// N_t·SF_t, scaled x16 so fractional SFs survive integer rounding. nil
+// means the table yields no usable partition (all shares rounded to zero);
+// the caller keeps the existing one.
+func sfWeights(counts []int, sf []float64) []int {
+	w := make([]int, len(counts))
+	any := false
+	for t, n := range counts {
+		f := 1.0
+		if t < len(sf) && sf[t] > 0 {
+			f = sf[t]
+		}
+		w[t] = int(math.Round(float64(n) * f * 16))
+		if w[t] > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return w
 }

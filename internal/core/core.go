@@ -333,8 +333,11 @@ type Migratable interface {
 // dynamic's R). Both execution engines surface the estimate after a loop,
 // which lets the cross-engine conformance harness assert that the
 // simulator and the real-goroutine runtime converge to compatible values.
-// ok is false while the estimate is not available yet; the result is only
-// safe to read once the loop has completed (or from a worker thread).
+// ok is false while the estimate is not available yet. SFEstimate is safe
+// to poll from any goroutine mid-run: the implementations publish their
+// tables through atomics (the epoch word, a pointer swap), never in place
+// — this is what lets the engines feed live estimates to the fairness
+// policy (fair.Candidate.SF) instead of reading them only at retirement.
 type SFEstimator interface {
 	SFEstimate() (sf []float64, ok bool)
 }

@@ -1,0 +1,76 @@
+package core
+
+import "testing"
+
+// reweightInfo is a 2-big/2-small loop; perIterNs {100, 300} gives the big
+// type a 3x speedup, well past the reweightDrift band.
+func reweightInfo(ni int64) LoopInfo {
+	return LoopInfo{
+		NI:       ni,
+		NThreads: 4,
+		NumTypes: 2,
+		TypeOf: func(tid int) int {
+			if tid < 2 {
+				return 0
+			}
+			return 1
+		},
+	}
+}
+
+// TestAIDDynamicReweightReducesForeignClaims pins the point of the
+// re-partition path: with the thread-count-proportional cut, big-core
+// threads under AID-dynamic exhaust their half of the pool early and serve
+// the rest of their R·M allotments via foreign-shard handoffs; an
+// R-proportional re-cut moves that work into their home shards up front.
+func TestAIDDynamicReweightReducesForeignClaims(t *testing.T) {
+	const ni = 30000
+	run := func(rw bool) (*AIDDynamic, int64) {
+		info := reweightInfo(ni)
+		a, err := NewAIDDynamic(info, 1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.SetReweight(rw)
+		virtualExec(t, a, info, []int64{100, 300})
+		return a, a.ws.ForeignClaims()
+	}
+	a, with := run(true)
+	if a.lastRW == nil {
+		t.Fatal("reweight never fired despite a 3x SF spread")
+	}
+	_, without := run(false)
+	if with >= without {
+		t.Errorf("foreign claims with reweight = %d, without = %d; want a reduction", with, without)
+	}
+}
+
+// TestAIDHybridReweightCoverageAndFiring checks the hybrid wiring: the
+// re-cut happens in the sampling→AID window (pct < 1), coverage stays
+// exact (virtualExec asserts it), and pure AID-static (pct = 1) never
+// re-cuts — its final assignment empties the pool in the same window.
+func TestAIDHybridReweightCoverageAndFiring(t *testing.T) {
+	const ni = 30000
+	info := reweightInfo(ni)
+	h, err := NewAIDHybrid(info, 1, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetReweight(true)
+	virtualExec(t, h, info, []int64{100, 300})
+	if h.ws.NumShards() == info.NumTypes {
+		// A 3x-skewed re-cut of fragmented leftovers yields more shards
+		// than types; shard count unchanged means Reweight never ran.
+		t.Error("hybrid reweight did not re-partition the pool")
+	}
+
+	st, err := NewAIDStatic(info, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetReweight(true)
+	virtualExec(t, st, info, []int64{100, 300})
+	if st.ws.NumShards() != info.NumTypes {
+		t.Error("pure AID-static must not re-partition (pct = 1)")
+	}
+}

@@ -13,6 +13,33 @@
 // proportional to its weight only in scheduler-call terms; schedulers that
 // hand out very large assignments (AID-static's one-shot allotment) make
 // the share approximate, exactly as a non-preemptive runtime would.
+//
+// # Speedup-factor-aware selection
+//
+// Beyond weights, candidates carry the asymmetry signal the paper's
+// schedulers estimate online: the calling worker's core type and each
+// loop's live per-core-type speedup factor (SF) table. The SFAware policy
+// (NewSFAware) uses them to steer big-core bursts toward the loops that
+// profit most from big cores and small-core bursts toward the loops that
+// profit least, while degenerating to plain weighted round-robin whenever
+// the estimates cannot support the distinction:
+//
+//   - Stabilization. A loop's estimate counts as stabilized once its
+//     scheduler has published a non-nil SF table (the end of the AID
+//     sampling phase). Until every candidate is stabilized the policy
+//     serves all loops under WRR — steering before the sampling phases
+//     complete would starve exactly the measurements it depends on.
+//   - Spread threshold. With all estimates live, steering engages only if
+//     maxSF >= spread * minSF across the candidates (spread defaults to
+//     DefaultSpread): when every loop speeds up alike, core placement
+//     cannot matter and WRR's shares are optimal.
+//   - Steering. Candidates partition at the geometric mid
+//     sqrt(minSF*maxSF): big-core workers serve the high-SF side,
+//     small-core workers the low-SF side, and the WRR cursor rotates
+//     within the side so weighted shares are preserved per class. A side
+//     is never empty (the extremes land on opposite sides), and a served
+//     loop always finishes: steering delays a loop's turn on the wrong
+//     core class, it never removes the loop from its own class.
 package fair
 
 // Candidate describes one runnable loop to a policy. Candidate slices are
@@ -22,6 +49,15 @@ type Candidate struct {
 	ID uint64
 	// Weight is the loop's relative fleet share (>= 1).
 	Weight int
+	// CoreType is the core type (platform cluster index) of the worker the
+	// Pick call is selecting for — the same value for every candidate of
+	// one call. Engines that do not model core types leave it 0.
+	CoreType int
+	// SF is the loop's live per-core-type speedup-factor estimate, indexed
+	// by core type and relative to the slowest type (see core.SFEstimator),
+	// or nil while the loop's scheduler has not published one. Policies
+	// must treat it as read-only.
+	SF []float64
 }
 
 // Policy selects the next loop for a free worker. Implementations need not
@@ -36,6 +72,24 @@ type Policy interface {
 	Pick(tid int, cands []Candidate) (idx, burst int)
 	// Name identifies the policy in reports.
 	Name() string
+}
+
+// Observer is an optional Policy extension: engines that bypass Pick on a
+// fast path (the registry's single-candidate unbounded burst) call Observe
+// instead, so stateful policies keep their cursors in sync with what the
+// worker actually served and the first picks after a single-to-multi
+// tenant transition are not skewed by a stale cursor.
+type Observer interface {
+	// Observe records that worker tid was handed candidate c outside Pick.
+	Observe(tid int, c Candidate)
+}
+
+// Retirer is an optional Policy extension: engines call Retire when a loop
+// leaves the runnable set, letting stateful policies drop per-worker state
+// that references it.
+type Retirer interface {
+	// Retire drops any internal state referencing loop id.
+	Retire(id uint64)
 }
 
 // DefaultQuantum is the number of scheduler calls a weight-1 loop receives
@@ -87,6 +141,23 @@ func (w *weightedRoundRobin) Pick(tid int, cands []Candidate) (int, int) {
 		weight = 1
 	}
 	return idx, weight * w.quantum
+}
+
+// Observe implements Observer: a grant made outside Pick advances the
+// worker's cursor exactly as a Pick of the same loop would, so round-robin
+// resumes from the served loop when more tenants arrive.
+func (w *weightedRoundRobin) Observe(tid int, c Candidate) {
+	w.last[tid] = c.ID
+}
+
+// Retire implements Retirer: cursors pointing at the retired loop are
+// dropped, so the map holds no entries for loops that no longer exist.
+func (w *weightedRoundRobin) Retire(id uint64) {
+	for tid, last := range w.last {
+		if last == id {
+			delete(w.last, tid)
+		}
+	}
 }
 
 // fcfs is the run-to-completion baseline: every worker serves the oldest

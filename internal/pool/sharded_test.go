@@ -30,8 +30,9 @@ func TestShardedPartition(t *testing.T) {
 		// Shards must tile [0, ni) exactly.
 		var total int64
 		lo := int64(0)
-		for i := range ws.shards {
-			s := &ws.shards[i]
+		g := ws.gen.Load()
+		for i := range g.shards {
+			s := &g.shards[i]
 			if s.base != lo {
 				t.Errorf("ni=%d weights=%v: shard %d starts at %d, want %d", c.ni, c.weights, i, s.base, lo)
 			}

@@ -470,8 +470,10 @@ func WhatIf(rec *trace.Record, wcfg WhatIfConfig) (*Result, error) {
 		policy = fair.NewWeightedRoundRobin(0)
 	case "fcfs":
 		policy = fair.NewFCFS()
+	case "sf-aware":
+		policy = fair.NewSFAware(0, 0)
 	default:
-		return nil, fmt.Errorf("replay: unknown fairness policy %q (wrr or fcfs)", polName)
+		return nil, fmt.Errorf("replay: unknown fairness policy %q (wrr, fcfs or sf-aware)", polName)
 	}
 	res, err := runConfigured(cfg, rec, specs, policy, true)
 	if err != nil {

@@ -251,6 +251,21 @@ func (l *Loop) Wait() LoopStats {
 // meaningful once the loop is done.
 func (l *Loop) Latency() time.Duration { return l.latency }
 
+// LiveSF returns the loop's current per-core-type speedup-factor estimate,
+// or nil while its scheduler has not published one (or never will — the
+// conventional schedules estimate nothing). Safe to call from any
+// goroutine at any time: the schedulers publish their tables through
+// atomics, so this is the mid-run view the fairness policy steers by, not
+// a retirement-only statistic.
+func (l *Loop) LiveSF() []float64 {
+	if est, ok := l.sched.(core.SFEstimator); ok {
+		if sf, ready := est.SFEstimate(); ready {
+			return sf
+		}
+	}
+	return nil
+}
+
 // Submit admits a loop for execution on the fleet and returns immediately;
 // the loop starts as soon as the policy hands workers to it. It fails if
 // the registry is closed or the request is invalid.
@@ -522,12 +537,19 @@ func (r *Registry) pick(tid int) (*Loop, int, uint64) {
 		cands, loops = cands[:0], loops[:0]
 		for _, l := range r.run {
 			if !l.retired[tid] {
-				cands = append(cands, fair.Candidate{ID: l.id, Weight: l.weight})
+				cands = append(cands, fair.Candidate{ID: l.id, Weight: l.weight,
+					CoreType: r.types[tid], SF: l.LiveSF()})
 				loops = append(loops, l)
 			}
 		}
 		gen := r.gen.Load()
 		if len(cands) == 1 {
+			// The policy is bypassed, not left behind: stateful policies
+			// see the grant through the Observe hook, so their cursors are
+			// current when a second tenant arrives.
+			if ob, ok := r.policy.(fair.Observer); ok {
+				ob.Observe(tid, cands[0])
+			}
 			return loops[0], 1 << 30, gen
 		}
 		if len(cands) > 0 {
@@ -566,6 +588,9 @@ func (r *Registry) retire(l *Loop, tid int) {
 			r.run = append(r.run[:i], r.run[i+1:]...)
 			break
 		}
+	}
+	if rt, ok := r.policy.(fair.Retirer); ok {
+		rt.Retire(l.id) // drop cursors referencing the finished loop
 	}
 	l.latency = time.Since(l.submitted)
 	l.stats = LoopStats{

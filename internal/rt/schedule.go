@@ -99,6 +99,12 @@ type Schedule struct {
 	// AID-static(offline-SF) variant of §5C with the given per-core-type
 	// speedup factors.
 	OfflineSF []float64
+	// Reweight enables SF-aware pool re-partitioning for the AID methods
+	// that support it (aid-static/aid-hybrid/aid-dynamic): once the
+	// scheduler's SF estimate stabilizes, the sharded pool is re-cut so
+	// each core type's home shards match its consumption rate. Parsed from
+	// a trailing ",rw" in GOOMP_SCHEDULE syntax.
+	Reweight bool
 }
 
 // withDefaults fills unset parameters with the paper's defaults.
@@ -116,8 +122,12 @@ func (s Schedule) withDefaults() Schedule {
 }
 
 // String renders the schedule in the paper's notation, e.g. "dynamic/4" or
-// "AID-dynamic/1,5".
+// "AID-dynamic/1,5"; "+rw" marks SF-aware re-partitioning.
 func (s Schedule) String() string {
+	rw := ""
+	if s.Reweight {
+		rw = "+rw"
+	}
 	d := s.withDefaults()
 	switch s.Kind {
 	case KindStatic:
@@ -130,13 +140,13 @@ func (s Schedule) String() string {
 		return fmt.Sprintf("guided/%d", d.Chunk)
 	case KindAIDStatic:
 		if s.OfflineSF != nil {
-			return "AID-static(offline-SF)"
+			return "AID-static(offline-SF)" + rw
 		}
-		return "AID-static"
+		return "AID-static" + rw
 	case KindAIDHybrid:
-		return fmt.Sprintf("AID-hybrid(%d%%)", int(d.Pct*100+0.5))
+		return fmt.Sprintf("AID-hybrid(%d%%)%s", int(d.Pct*100+0.5), rw)
 	case KindAIDDynamic:
-		return fmt.Sprintf("AID-dynamic/%d,%d", d.Chunk, d.Major)
+		return fmt.Sprintf("AID-dynamic/%d,%d%s", d.Chunk, d.Major, rw)
 	case KindAIDAuto:
 		return fmt.Sprintf("AID-auto/%d,%d", d.Chunk, d.Major)
 	case KindWorkSteal:
@@ -153,6 +163,10 @@ func (s Schedule) String() string {
 // re-parseable schedule and what-if replay demands an explicit override
 // rather than silently substituting the online-sampling variant.
 func (s Schedule) Canonical() string {
+	rw := ""
+	if s.Reweight {
+		rw = ",rw"
+	}
 	d := s.withDefaults()
 	switch s.Kind {
 	case KindStatic:
@@ -167,14 +181,14 @@ func (s Schedule) Canonical() string {
 		if s.OfflineSF != nil {
 			return ""
 		}
-		return fmt.Sprintf("aid-static,%d", d.Chunk)
+		return fmt.Sprintf("aid-static,%d%s", d.Chunk, rw)
 	case KindAIDHybrid:
 		if d.Chunk != 1 {
-			return fmt.Sprintf("aid-hybrid,%d,%d", int(d.Pct*100+0.5), d.Chunk)
+			return fmt.Sprintf("aid-hybrid,%d,%d%s", int(d.Pct*100+0.5), d.Chunk, rw)
 		}
-		return fmt.Sprintf("aid-hybrid,%d", int(d.Pct*100+0.5))
+		return fmt.Sprintf("aid-hybrid,%d%s", int(d.Pct*100+0.5), rw)
 	case KindAIDDynamic:
-		return fmt.Sprintf("aid-dynamic,%d,%d", d.Chunk, d.Major)
+		return fmt.Sprintf("aid-dynamic,%d,%d%s", d.Chunk, d.Major, rw)
 	case KindAIDAuto:
 		return fmt.Sprintf("aid-auto,%d,%d", d.Chunk, d.Major)
 	case KindWorkSteal:
@@ -188,31 +202,50 @@ func (s Schedule) Canonical() string {
 func (s Schedule) Factory() sim.SchedulerFactory {
 	d := s.withDefaults()
 	return func(info core.LoopInfo) (core.Scheduler, error) {
-		switch d.Kind {
-		case KindStatic:
-			return core.NewStatic(info)
-		case KindStaticChunked:
-			return core.NewStaticChunked(info, d.Chunk)
-		case KindDynamic:
-			return core.NewDynamic(info, d.Chunk)
-		case KindGuided:
-			return core.NewGuided(info, d.Chunk)
-		case KindAIDStatic:
-			if d.OfflineSF != nil {
-				return core.NewAIDStaticOffline(info, d.Chunk, d.OfflineSF)
-			}
-			return core.NewAIDStatic(info, d.Chunk)
-		case KindAIDHybrid:
-			return core.NewAIDHybrid(info, d.Chunk, d.Pct)
-		case KindAIDDynamic:
-			return core.NewAIDDynamic(info, d.Chunk, d.Major)
-		case KindAIDAuto:
-			return core.NewAIDAuto(info, d.Chunk, d.Pct, d.Major, 0)
-		case KindWorkSteal:
-			return core.NewWorkSteal(info, d.Chunk)
+		sched, err := d.build(info)
+		if err != nil || !d.Reweight {
+			return sched, err
 		}
-		return nil, fmt.Errorf("rt: unknown schedule kind %d", int(d.Kind))
+		rw, ok := sched.(interface{ SetReweight(bool) })
+		if !ok {
+			return nil, fmt.Errorf("rt: schedule %s does not support SF-aware reweighting", d.Kind)
+		}
+		rw.SetReweight(true)
+		return sched, nil
 	}
+}
+
+// build constructs the scheduler for an already-defaulted schedule.
+func (d Schedule) build(info core.LoopInfo) (core.Scheduler, error) {
+	switch d.Kind {
+	case KindStatic:
+		return core.NewStatic(info)
+	case KindStaticChunked:
+		return core.NewStaticChunked(info, d.Chunk)
+	case KindDynamic:
+		return core.NewDynamic(info, d.Chunk)
+	case KindGuided:
+		return core.NewGuided(info, d.Chunk)
+	case KindAIDStatic:
+		if d.OfflineSF != nil {
+			return core.NewAIDStaticOffline(info, d.Chunk, d.OfflineSF)
+		}
+		return core.NewAIDStatic(info, d.Chunk)
+	case KindAIDHybrid:
+		return core.NewAIDHybrid(info, d.Chunk, d.Pct)
+	case KindAIDDynamic:
+		return core.NewAIDDynamic(info, d.Chunk, d.Major)
+	case KindAIDAuto:
+		return core.NewAIDAuto(info, d.Chunk, d.Pct, d.Major, 0)
+	case KindWorkSteal:
+		return core.NewWorkSteal(info, d.Chunk)
+	}
+	return nil, fmt.Errorf("rt: unknown schedule kind %d", int(d.Kind))
+}
+
+// reweightable reports whether a schedule kind supports the ",rw" flag.
+func reweightable(k Kind) bool {
+	return k == KindAIDStatic || k == KindAIDHybrid || k == KindAIDDynamic
 }
 
 // ParseSchedule parses the GOOMP_SCHEDULE syntax. Accepted forms (method
@@ -226,10 +259,20 @@ func (s Schedule) Factory() sim.SchedulerFactory {
 //	aid-dynamic       aid-dynamic,<m>,<M>
 //	aid-auto          aid-auto,<m>,<M>
 //	work-steal        work-steal,<chunk>
+//
+// The AID methods with an online SF estimate (aid-static, aid-hybrid,
+// aid-dynamic) additionally accept a trailing ",rw" argument selecting
+// SF-aware pool re-partitioning (Schedule.Reweight), e.g.
+// "aid-dynamic,1,5,rw".
 func ParseSchedule(text string) (Schedule, error) {
 	parts := strings.Split(strings.TrimSpace(text), ",")
 	name := strings.ToLower(strings.TrimSpace(parts[0]))
 	args := parts[1:]
+	reweight := false
+	if n := len(args); n > 0 && strings.EqualFold(strings.TrimSpace(args[n-1]), "rw") {
+		reweight = true
+		args = args[:n-1]
+	}
 	argN := func(i int) (int64, error) {
 		v, err := strconv.ParseInt(strings.TrimSpace(args[i]), 10, 64)
 		if err != nil || v <= 0 {
@@ -352,6 +395,12 @@ func ParseSchedule(text string) (Schedule, error) {
 		}
 	default:
 		return Schedule{}, fmt.Errorf("rt: unknown schedule %q", name)
+	}
+	if reweight {
+		if !reweightable(s.Kind) {
+			return Schedule{}, fmt.Errorf("rt: schedule %q does not support the rw flag", name)
+		}
+		s.Reweight = true
 	}
 	return s, nil
 }

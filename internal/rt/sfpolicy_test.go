@@ -1,0 +1,318 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fair"
+)
+
+// spyPolicy wraps a real policy and records every hook the registry drives:
+// Pick candidate sets, fast-path Observe grants, and Retire notifications.
+// The registry calls all three under its lock; the mutex makes the test
+// goroutine's reads race-clean.
+type spyPolicy struct {
+	inner fair.Policy
+
+	mu       sync.Mutex
+	observed []uint64   // loop IDs granted via the single-candidate fast path
+	picked   [][]uint64 // candidate ID sets per Pick call
+	retired  []uint64
+	sawSF    bool // some candidate carried a live SF estimate
+}
+
+func newSpyPolicy() *spyPolicy {
+	return &spyPolicy{inner: fair.NewWeightedRoundRobin(0)}
+}
+
+func (s *spyPolicy) Name() string { return "spy" }
+
+func (s *spyPolicy) Pick(tid int, cands []fair.Candidate) (int, int) {
+	s.mu.Lock()
+	ids := make([]uint64, len(cands))
+	for i, c := range cands {
+		ids[i] = c.ID
+		if c.SF != nil {
+			s.sawSF = true
+		}
+	}
+	s.picked = append(s.picked, ids)
+	s.mu.Unlock()
+	return s.inner.Pick(tid, cands)
+}
+
+func (s *spyPolicy) Observe(tid int, c fair.Candidate) {
+	s.mu.Lock()
+	s.observed = append(s.observed, c.ID)
+	if c.SF != nil {
+		s.sawSF = true
+	}
+	s.mu.Unlock()
+	if ob, ok := s.inner.(fair.Observer); ok {
+		ob.Observe(tid, c)
+	}
+}
+
+func (s *spyPolicy) Retire(id uint64) {
+	s.mu.Lock()
+	s.retired = append(s.retired, id)
+	s.mu.Unlock()
+	if rt, ok := s.inner.(fair.Retirer); ok {
+		rt.Retire(id)
+	}
+}
+
+// TestRegistryPolicyHooks drives the single→multi tenant transition the
+// fast-path bug hid from the policy: a lone loop must reach the policy
+// through Observe (the fast path bypasses Pick), a second concurrent tenant
+// must force a real Pick over both candidates, and each barrier release
+// must Retire its loop ID so cursor state cannot leak.
+func TestRegistryPolicyHooks(t *testing.T) {
+	spy := newSpyPolicy()
+	reg, err := NewRegistry(RegistryConfig{NThreads: 4, Policy: spy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// Loop A blocks in its body until loop B has been admitted, so both are
+	// runnable together and the post-gate re-pick sees two candidates. B is
+	// only submitted once a worker is inside A's body — i.e. after a pick
+	// that saw A as the lone candidate — so the fast path provably ran.
+	gate := make(chan struct{})
+	var started atomic.Int32
+	a, err := reg.Submit(LoopRequest{N: 64, Schedule: Schedule{Kind: KindDynamic, Chunk: 4},
+		Body: func(_ int, _, _ int64) { started.Add(1); <-gate }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for started.Load() == 0 {
+		time.Sleep(10 * time.Microsecond)
+	}
+	b, err := reg.Submit(LoopRequest{N: 64, Schedule: Schedule{Kind: KindDynamic, Chunk: 4},
+		Body: func(_ int, _, _ int64) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	a.Wait()
+	b.Wait()
+	reg.Close()
+
+	spy.mu.Lock()
+	defer spy.mu.Unlock()
+	sawA := false
+	for _, id := range spy.observed {
+		if id == a.ID() {
+			sawA = true
+		}
+	}
+	if !sawA {
+		t.Error("single-candidate fast path never reached the policy via Observe")
+	}
+	both := false
+	for _, ids := range spy.picked {
+		if len(ids) == 2 {
+			both = true
+		}
+	}
+	if !both {
+		t.Error("no Pick saw both tenants as candidates")
+	}
+	ret := map[uint64]bool{}
+	for _, id := range spy.retired {
+		ret[id] = true
+	}
+	if !ret[a.ID()] || !ret[b.ID()] {
+		t.Errorf("Retire calls %v missing a loop; want both %d and %d", spy.retired, a.ID(), b.ID())
+	}
+}
+
+// TestRegistryLiveSFMidRun pins the tentpole's observability claim on the
+// real engine: an AID loop's SF estimate must be pollable through
+// Loop.LiveSF while the loop is still executing — not only at retirement —
+// and the fast-path Observe grants must carry it to the policy.
+func TestRegistryLiveSFMidRun(t *testing.T) {
+	spy := newSpyPolicy()
+	reg, err := NewRegistry(RegistryConfig{NThreads: 4, Policy: spy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// A per-iteration stall keeps the AID phase (the bulk of the loop) slow
+	// enough for the poller, while the chunk-1 sampling phase that produces
+	// the estimate finishes almost immediately.
+	l, err := reg.Submit(LoopRequest{N: 20000, Schedule: Schedule{Kind: KindAIDStatic},
+		Body: func(_ int, lo, hi int64) {
+			for i := lo; i < hi; i += 256 {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var midRun []float64
+poll:
+	for {
+		select {
+		case <-l.Done():
+			break poll
+		default:
+			if sf := l.LiveSF(); sf != nil {
+				midRun = sf
+				break poll
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	// A lone tenant is picked once (unbounded burst), before sampling has
+	// published anything. Admitting a second tenant now forces every worker
+	// back through Pick, where the AID loop's candidate must carry the
+	// estimate we just observed.
+	l2, err := reg.Submit(LoopRequest{N: 100, Schedule: Schedule{Kind: KindDynamic},
+		Body: func(_ int, _, _ int64) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Wait()
+	stats := l.Wait()
+	if midRun == nil {
+		t.Fatal("LiveSF never published before the barrier released")
+	}
+	if len(midRun) != 2 || midRun[0] < 1 {
+		t.Errorf("mid-run SF = %v; want a 2-type table with SF >= 1 for big cores", midRun)
+	}
+	if stats.SFEstimate == nil {
+		t.Error("final stats lost the SF estimate")
+	}
+	spy.mu.Lock()
+	defer spy.mu.Unlock()
+	if !spy.sawSF {
+		t.Error("no candidate handed to the policy carried a live SF estimate")
+	}
+}
+
+// TestRegistryLiveSFNilForConventional: schedules with no SF estimator must
+// report nil rather than a fabricated table.
+func TestRegistryLiveSFNilForConventional(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{NThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	l, err := reg.Submit(LoopRequest{N: 100, Schedule: Schedule{Kind: KindDynamic},
+		Body: func(_ int, _, _ int64) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Wait()
+	if sf := l.LiveSF(); sf != nil {
+		t.Errorf("dynamic schedule reports LiveSF %v, want nil", sf)
+	}
+}
+
+// TestParseScheduleReweight covers the ",rw" GOOMP_SCHEDULE extension:
+// accepted on the online-SF AID methods (any case, any parameter count),
+// rejected everywhere else, and round-tripped by Canonical.
+func TestParseScheduleReweight(t *testing.T) {
+	good := map[string]Schedule{
+		"aid-static,rw":      {Kind: KindAIDStatic, Reweight: true},
+		"aid-static,2,rw":    {Kind: KindAIDStatic, Chunk: 2, Reweight: true},
+		"aid-hybrid,80,rw":   {Kind: KindAIDHybrid, Pct: 0.8, Reweight: true},
+		"aid-dynamic,1,5,rw": {Kind: KindAIDDynamic, Chunk: 1, Major: 5, Reweight: true},
+		"AID-DYNAMIC,1,5,RW": {Kind: KindAIDDynamic, Chunk: 1, Major: 5, Reweight: true},
+	}
+	for in, want := range good {
+		got, err := ParseSchedule(in)
+		if err != nil {
+			t.Errorf("ParseSchedule(%q): %v", in, err)
+			continue
+		}
+		if got.Kind != want.Kind || got.Chunk != want.Chunk ||
+			got.Major != want.Major || got.Pct != want.Pct || !got.Reweight {
+			t.Errorf("ParseSchedule(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, in := range []string{
+		"static,rw", "dynamic,4,rw", "guided,rw", "work-steal,4,rw",
+		"aid-auto,2,8,rw", "rw",
+	} {
+		if _, err := ParseSchedule(in); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", in)
+		}
+	}
+	for _, in := range []string{"aid-static,rw", "aid-hybrid,70,rw", "aid-dynamic,2,10,rw"} {
+		s, err := ParseSchedule(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		c := s.Canonical()
+		s2, err := ParseSchedule(c)
+		if err != nil {
+			t.Fatalf("%s -> Canonical %q does not parse: %v", in, c, err)
+		}
+		if !s2.Reweight {
+			t.Errorf("%s: Canonical %q dropped the rw flag", in, c)
+		}
+		if c2 := s2.Canonical(); c2 != c {
+			t.Errorf("%s: Canonical not a fixed point: %q -> %q", in, c, c2)
+		}
+	}
+	if got := (Schedule{Kind: KindAIDDynamic, Reweight: true}).String(); got != "AID-dynamic/1,5+rw" {
+		t.Errorf("String() = %q, want AID-dynamic/1,5+rw", got)
+	}
+}
+
+// TestFactoryReweight: the factory must apply SetReweight to schedulers that
+// support it and refuse Reweight on kinds that do not (the struct field is
+// reachable without going through ParseSchedule's validation).
+func TestFactoryReweight(t *testing.T) {
+	info := core.LoopInfo{NI: 100, NThreads: 4, NumTypes: 2, TypeOf: func(tid int) int { return tid % 2 }}
+	for _, k := range []Kind{KindAIDStatic, KindAIDHybrid, KindAIDDynamic} {
+		if _, err := (Schedule{Kind: k, Reweight: true}).Factory()(info); err != nil {
+			t.Errorf("factory for %v+rw: %v", k, err)
+		}
+	}
+	if _, err := (Schedule{Kind: KindDynamic, Reweight: true}).Factory()(info); err == nil {
+		t.Error("factory accepted Reweight on dynamic")
+	}
+}
+
+// TestParallelForReweightCoverage runs the ,rw variants end-to-end on the
+// real executor: re-partitioning mid-loop must not lose or duplicate
+// iterations.
+func TestParallelForReweightCoverage(t *testing.T) {
+	for _, txt := range []string{"aid-hybrid,80,rw", "aid-dynamic,1,5,rw"} {
+		t.Run(txt, func(t *testing.T) {
+			s, err := ParseSchedule(txt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			team, err := NewTeam(TeamConfig{NThreads: 4, Schedule: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 10007
+			hits := make([]int32, n)
+			var mu sync.Mutex
+			if err := team.ParallelForChunked(n, func(lo, hi int64) {
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+				mu.Unlock()
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("iteration %d executed %d times", i, h)
+				}
+			}
+		})
+	}
+}

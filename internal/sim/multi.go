@@ -63,11 +63,19 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 	weights := make([]int, nl)
 
 	coreOf := make([]int, nt)
+	typeOf := make([]int, nt)
 	activeInCluster := make([]int, len(pl.Clusters))
 	for tid := 0; tid < nt; tid++ {
 		coreOf[tid] = pl.CoreOf(tid, nt, cfg.Binding)
-		activeInCluster[pl.ClusterOf(coreOf[tid])]++
+		typeOf[tid] = pl.ClusterOf(coreOf[tid])
+		activeInCluster[typeOf[tid]]++
 	}
+
+	// liveSF[li] is loop li's most recently published SF table (nil until the
+	// scheduler's estimate stabilizes). It is fed to the fairness policy on
+	// every pick — the mid-run view, not a retirement-only statistic — and
+	// each publication is appended to the loop's SFTrajectory.
+	liveSF := make([][]float64, nl)
 
 	for li, spec := range specs {
 		if err := spec.Validate(); err != nil {
@@ -79,9 +87,18 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 			return nil, fmt.Errorf("sim: building scheduler for loop %q: %w", spec.Name, err)
 		}
 		scheds[li] = s
+		var recSink func(core.PhaseEvent)
 		if cfg.Recorder != nil {
-			recordLoop(cfg.Recorder, spec, s)
+			recSink = phaseRecorder(cfg.Recorder, addLoopRecord(cfg.Recorder, spec, s))
 		}
+		li := li
+		installPhaseSinks(s, recSink, func(ev core.PhaseEvent) {
+			if ev.SF != nil {
+				liveSF[li] = ev.SF
+				results[li].SFTrajectory = append(results[li].SFTrajectory,
+					SFPoint{TimeNs: ev.TimeNs, SF: ev.SF})
+			}
+		})
 		speed[li] = make([]float64, nt)
 		lastHi[li] = make([]int64, nt)
 		retired[li] = make([]bool, nt)
@@ -98,6 +115,14 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 			Iters:         make([]int64, nt),
 			Finish:        make([]int64, nt),
 			SchedulerName: s.Name(),
+		}
+		if est, isEst := s.(core.SFEstimator); isEst {
+			// Offline-SF variants publish at construction with no event.
+			if sf, ready := est.SFEstimate(); ready {
+				liveSF[li] = sf
+				results[li].SFTrajectory = append(results[li].SFTrajectory,
+					SFPoint{TimeNs: startNs, SF: sf})
+			}
 		}
 	}
 
@@ -135,7 +160,8 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 			cands, candLoop = cands[:0], candLoop[:0]
 			for i := 0; i < nl; i++ {
 				if !retired[i][tid] {
-					cands = append(cands, fair.Candidate{ID: uint64(i), Weight: weights[i]})
+					cands = append(cands, fair.Candidate{ID: uint64(i), Weight: weights[i],
+						CoreType: typeOf[tid], SF: liveSF[i]})
 					candLoop = append(candLoop, i)
 				}
 			}
@@ -194,6 +220,9 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 				if cfg.Recorder != nil && res.SFEstimate != nil {
 					cfg.Recorder.SFSample(trace.SFSample{TimeNs: res.End, Loop: li,
 						SF: append([]float64(nil), res.SFEstimate...)})
+				}
+				if rp, isRet := policy.(fair.Retirer); isRet {
+					rp.Retire(uint64(li)) // drop cursors naming the finished loop
 				}
 			}
 			continue

@@ -59,11 +59,10 @@ func beginRecording(cfg Config, policy string, startNs int64) error {
 	})
 }
 
-// recordLoop registers one loop descriptor and, when the scheduler exposes
-// its phase transitions, installs the decision-capture observer. The
-// simulator is single-goroutine, so the observer appends directly.
-func recordLoop(rec *trace.Recorder, spec LoopSpec, sched core.Scheduler) int {
-	idx := rec.AddLoop(trace.LoopRecord{
+// addLoopRecord registers one loop descriptor with the recorder and returns
+// its record index.
+func addLoopRecord(rec *trace.Recorder, spec LoopSpec, sched core.Scheduler) int {
+	return rec.AddLoop(trace.LoopRecord{
 		Name:      spec.Name,
 		NI:        spec.NI,
 		Weight:    spec.Weight,
@@ -71,11 +70,39 @@ func recordLoop(rec *trace.Recorder, spec LoopSpec, sched core.Scheduler) int {
 		Profile:   spec.Profile,
 		Cost:      costRecord(spec.Cost),
 	})
-	if po, ok := sched.(core.PhaseObservable); ok {
-		po.SetPhaseObserver(func(ev core.PhaseEvent) {
-			rec.Phase(trace.PhaseEvent{TimeNs: ev.TimeNs, Tid: ev.Tid, Loop: idx,
-				Epoch: ev.Epoch, Kind: ev.Kind, SF: ev.SF})
-		})
+}
+
+// phaseRecorder returns the decision-capture sink for loop idx: it forwards
+// the scheduler's phase transitions into the run record. The simulator is
+// single-goroutine, so the sink appends directly.
+func phaseRecorder(rec *trace.Recorder, idx int) func(core.PhaseEvent) {
+	return func(ev core.PhaseEvent) {
+		rec.Phase(trace.PhaseEvent{TimeNs: ev.TimeNs, Tid: ev.Tid, Loop: idx,
+			Epoch: ev.Epoch, Kind: ev.Kind, SF: ev.SF})
 	}
-	return idx
+}
+
+// installPhaseSinks chains the non-nil sinks behind one phase observer when
+// the scheduler exposes its transitions. A Scheduler holds a single observer
+// slot, so every consumer — the recorder's decision capture, the engines'
+// live-SF tracking — must share it through this chain.
+func installPhaseSinks(sched core.Scheduler, sinks ...func(core.PhaseEvent)) {
+	po, ok := sched.(core.PhaseObservable)
+	if !ok {
+		return
+	}
+	var live []func(core.PhaseEvent)
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	po.SetPhaseObserver(func(ev core.PhaseEvent) {
+		for _, s := range live {
+			s(ev)
+		}
+	})
 }

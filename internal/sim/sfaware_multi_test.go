@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/core"
+	"repro/internal/fair"
+	"repro/internal/stats"
+)
+
+// mixedSFConfig is the tentpole scenario: one fleet, aid-dynamic tenants
+// whose profiles sit at the two ends of Platform A's SF range — high-ILP
+// compute loops (SF ~8, big cores are transformative) and memory-bound
+// loops (SF ~1.2, big cores barely help).
+func mixedSFConfig() (Config, []LoopSpec) {
+	cfg := Config{
+		Platform: amp.PlatformA(),
+		NThreads: 8,
+		Binding:  amp.BindBS,
+		Factory: func(info core.LoopInfo) (core.Scheduler, error) {
+			return core.NewAIDDynamic(info, 1, 5)
+		},
+	}
+	mk := func(name string, prof amp.Profile) LoopSpec {
+		return LoopSpec{Name: name, NI: 60_000, Profile: prof,
+			Cost: UniformCost{PerIter: 20000}, Weight: 1}
+	}
+	high := amp.Profile{ILP: 0.9, MemIntensity: 0.0}
+	low := amp.Profile{ILP: 0.0, MemIntensity: 0.9}
+	specs := []LoopSpec{
+		mk("compute-a", high), mk("compute-b", high),
+		mk("membound-a", low), mk("membound-b", low),
+	}
+	return cfg, specs
+}
+
+func makespan(results []LoopResult) int64 {
+	var m int64
+	for _, r := range results {
+		if r.End > m {
+			m = r.End
+		}
+	}
+	return m
+}
+
+// TestMultiLoopSFAwareBeatsWRR pins the closed SF loop end to end: live
+// mid-run SF estimates flow from the schedulers into the fairness policy,
+// which steers big-core bursts to the high-SF tenants and small-core bursts
+// to the SF≈1 tenants. The win is a shorter fleet makespan than weighted
+// round-robin at a comparable fairness level.
+func TestMultiLoopSFAwareBeatsWRR(t *testing.T) {
+	cfg, specs := mixedSFConfig()
+	run := func(p fair.Policy) []LoopResult {
+		results, err := RunLoops(cfg, specs, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for li, r := range results {
+			if got := sumIters(r); got != specs[li].NI {
+				t.Fatalf("loop %q covered %d of %d iterations", specs[li].Name, got, specs[li].NI)
+			}
+		}
+		return results
+	}
+	wrr := run(fair.NewWeightedRoundRobin(0))
+	sfa := run(fair.NewSFAware(0, 0))
+
+	msWRR, msSFA := makespan(wrr), makespan(sfa)
+	t.Logf("makespan: wrr %d, sf-aware %d (gain %.1f%%)",
+		msWRR, msSFA, (float64(msWRR)/float64(msSFA)-1)*100)
+	if msSFA >= msWRR {
+		t.Errorf("sf-aware makespan %d not better than wrr %d", msSFA, msWRR)
+	}
+
+	// Fairness: each tenant's progress share is its dedicated-fleet
+	// completion time over its multi-tenant completion time (1 = ran as if
+	// alone, smaller = slowed by sharing). Jain's index over the shares
+	// summarizes how evenly the policies spread the slowdown.
+	share := func(results []LoopResult) []float64 {
+		xs := make([]float64, len(specs))
+		for i, spec := range specs {
+			solo, err := RunLoop(cfg, spec, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs[i] = float64(solo.End) / float64(results[i].End)
+		}
+		return xs
+	}
+	shWRR, shSFA := share(wrr), share(sfa)
+	jWRR, jSFA := stats.JainIndex(shWRR), stats.JainIndex(shSFA)
+	t.Logf("shares: wrr %v (jain %.3f), sf-aware %v (jain %.3f)", shWRR, jWRR, shSFA, jSFA)
+	// The absolute level (~0.64) reflects the workload mix, not the policy:
+	// dedicated-fleet baselines for compute loops are inherently much faster,
+	// so their shares sit low under any work-conserving policy. The pinned
+	// property is that steering stays inside the same band WRR occupies
+	// instead of starving the tenants it de-prioritizes per core type.
+	if jSFA < 0.60 || jSFA > 1.0 {
+		t.Errorf("sf-aware Jain index %.3f outside the pinned band [0.60, 1.0]", jSFA)
+	}
+	if jSFA < jWRR-0.05 {
+		t.Errorf("sf-aware fairness %.3f collapsed relative to wrr %.3f", jSFA, jWRR)
+	}
+
+	// Live observability: every aid-dynamic tenant published its estimate
+	// mid-run — the trajectory is non-empty and starts strictly before the
+	// tenant's own barrier release.
+	for li, r := range sfa {
+		if len(r.SFTrajectory) == 0 {
+			t.Errorf("loop %q has no SF trajectory", specs[li].Name)
+			continue
+		}
+		first := r.SFTrajectory[0]
+		if first.TimeNs >= r.End {
+			t.Errorf("loop %q first SF point at %d, not before End %d",
+				specs[li].Name, first.TimeNs, r.End)
+		}
+		if len(first.SF) != len(cfg.Platform.Clusters) {
+			t.Errorf("loop %q SF table has %d entries, want %d",
+				specs[li].Name, len(first.SF), len(cfg.Platform.Clusters))
+		}
+	}
+	// The compute tenants' estimates must rank clearly above the memory-bound
+	// tenants' — that separation is what the policy steers on.
+	hi := sfa[0].SFEstimate
+	lo := sfa[2].SFEstimate
+	if hi == nil || lo == nil {
+		t.Fatal("missing final SF estimates")
+	}
+	if hi[0] < 1.25*lo[0] {
+		t.Errorf("SF separation too small to steer: compute %v vs membound %v", hi, lo)
+	}
+}

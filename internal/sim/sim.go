@@ -201,6 +201,20 @@ type LoopResult struct {
 	// cross-engine conformance harness compares it against the real-
 	// goroutine runtime's estimate for the same workload.
 	SFEstimate []float64
+	// SFTrajectory is the time-ordered sequence of SF tables the scheduler
+	// published while the loop ran — the estimate was live mid-run at each
+	// point, not reconstructed at retirement. Offline-SF variants contribute
+	// a single point at loop start; methods that estimate nothing leave it
+	// nil.
+	SFTrajectory []SFPoint
+}
+
+// SFPoint is one timestamped speedup-factor-table publication.
+type SFPoint struct {
+	// TimeNs is the virtual time of the publishing phase transition.
+	TimeNs int64
+	// SF is the per-core-type table (immutable snapshot).
+	SF []float64
 }
 
 // loopInfo builds the scheduler-facing description of a loop under cfg.
@@ -230,11 +244,26 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 		return LoopResult{}, fmt.Errorf("sim: building scheduler for loop %q: %w", spec.Name, err)
 	}
 	recLoop := -1
+	var recSink func(core.PhaseEvent)
 	if cfg.Recorder != nil {
 		if err := beginRecording(cfg, "", startNs); err != nil {
 			return LoopResult{}, err
 		}
-		recLoop = recordLoop(cfg.Recorder, spec, sched)
+		recLoop = addLoopRecord(cfg.Recorder, spec, sched)
+		recSink = phaseRecorder(cfg.Recorder, recLoop)
+	}
+	var traj []SFPoint
+	installPhaseSinks(sched, recSink, func(ev core.PhaseEvent) {
+		if ev.SF != nil {
+			traj = append(traj, SFPoint{TimeNs: ev.TimeNs, SF: ev.SF})
+		}
+	})
+	if est, isEst := sched.(core.SFEstimator); isEst {
+		// Offline-SF variants publish their table at construction, before
+		// any phase event fires; seed the trajectory with it.
+		if sf, ready := est.SFEstimate(); ready {
+			traj = append(traj, SFPoint{TimeNs: startNs, SF: sf})
+		}
 	}
 
 	pl := cfg.Platform
@@ -369,6 +398,7 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 			res.SFEstimate = sf
 		}
 	}
+	res.SFTrajectory = traj
 
 	// Implicit barrier: release at the max finish time plus the join half.
 	var maxFinish int64

@@ -105,6 +105,24 @@ func RelGainPct(prevTime, nextTime float64) float64 {
 	return (prevTime/nextTime - 1) * 100
 }
 
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) over the per-tenant
+// allocations xs. It is 1 when every tenant gets an equal share and
+// approaches 1/n when one tenant monopolizes the resource; the multi-tenant
+// harness uses it to pin the fairness band of the SF-aware policy against
+// plain weighted round-robin. An empty slice or an all-zero allocation
+// returns 0.
+func JainIndex(xs []float64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
 // AggregateRuns reproduces the paper's measurement protocol (§5): the first
 // run is discarded (warm-up / input load) and the geometric mean of the
 // remaining runs' completion times is reported. It returns an error when
