@@ -2,7 +2,8 @@
 #
 #   make ci      - everything a PR must pass: vet, build, race tests,
 #                  multi-loop conformance/race under -race -count=2,
-#                  replay determinism, short-mode benchmarks
+#                  replay determinism, the allocation/layout gates,
+#                  short-mode benchmarks
 #   make test    - plain test run (tier-1: go build ./... && go test ./...)
 #   make race    - race-detector run over the lock-free scheduler/pool layers
 #                  plus the real-goroutine runtime
@@ -12,19 +13,30 @@
 #   make replay-determinism - record a simulated run, exact-replay it twice,
 #                  assert the two replays serialize byte-identically (the
 #                  record & replay subsystem's end-to-end determinism gate)
+#   make alloc-check - the zero-allocation and cache-line-layout gates: the
+#                  AllocsPerRun assertions and unsafe.Offsetof layout tests
+#                  over the pool/core/rt hot paths (run without -race; the
+#                  race run covers the same tests with the gates skipped)
 #   make bench   - the full benchmark harness (figures + micro-benchmarks)
 #   make bench-short - benchmarks compiled and run once per case (smoke);
-#                  also regenerates BENCH_multiloop.json from the registry
-#                  throughput rows via cmd/benchjson
-#   make bench-check - validate that BENCH_multiloop.json parses (CI gate)
+#                  regenerates BENCH_multiloop.json from the registry
+#                  throughput rows and BENCH_hotpath.json (with -benchmem
+#                  allocation columns) from the claim hot-path rows via
+#                  cmd/benchjson. Artifacts are written temp-then-rename, so
+#                  a failed run never leaves a stale capture or a truncated
+#                  JSON behind; a pre-existing BENCH_hotpath.json doubles as
+#                  the allocs/op baseline the fresh run must not regress.
+#   make bench-check - validate that the committed benchmark JSONs parse and
+#                  that BENCH_hotpath.json still carries allocation columns
+#                  (CI gate)
 
 GO ?= go
 REPLAYTMP := .replaytmp
 BENCHTMP := .benchtmp
 
-.PHONY: ci vet build test race race-multiloop replay-determinism bench bench-short bench-check
+.PHONY: ci vet build test race race-multiloop replay-determinism alloc-check bench bench-short bench-check
 
-ci: vet build race race-multiloop replay-determinism bench-short bench-check
+ci: vet build race race-multiloop replay-determinism alloc-check bench-short bench-check
 
 vet:
 	$(GO) vet ./...
@@ -52,19 +64,43 @@ replay-determinism:
 	$(GO) run ./cmd/aidtrace -diff $(REPLAYTMP)/replay1.jsonl,$(REPLAYTMP)/replay2.jsonl > /dev/null
 	rm -rf $(REPLAYTMP)
 
+# The allocation gates must run without the race detector (its
+# instrumentation allocates; the tests skip themselves under -race), and
+# with -count=1 so a cached pass cannot mask a fresh regression.
+alloc-check:
+	$(GO) test -count=1 -run 'Allocs|Layout' ./internal/pool/ ./internal/core/ ./internal/rt/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# The MultiLoop rows are captured to a temp file and converted to JSON in a
-# separate step (no pipeline, so a failing `go test` exit code is not masked).
+# Benchmark rows are captured to temp files and converted to JSON in
+# separate steps (no pipeline, so a failing `go test` exit code is not
+# masked), and every file is written to a .part path first and renamed only
+# on success: an aborted run leaves no stale $(BENCHTMP) capture to feed a
+# later conversion and no truncated committed artifact. The hot-path JSON is
+# additionally diffed against the committed BENCH_hotpath.json (when one
+# exists) before replacing it — allocs/op may only go down.
 bench-short:
+	rm -f $(BENCHTMP) $(BENCHTMP).part
 	$(GO) test -short -run=XXX -bench=BenchmarkChunkRemoval -benchtime=100000x ./internal/pool/
 	$(GO) test -short -run=XXX -bench=BenchmarkWorkShareSteal -benchtime=100000x .
-	$(GO) test -short -run=XXX -bench=BenchmarkMultiLoop -benchtime=2x ./internal/rt/ > $(BENCHTMP)
+	$(GO) test -short -run=XXX -bench=BenchmarkMultiLoop -benchtime=2x ./internal/rt/ > $(BENCHTMP).part
+	mv $(BENCHTMP).part $(BENCHTMP)
 	cat $(BENCHTMP)
-	$(GO) run ./cmd/benchjson -o BENCH_multiloop.json $(BENCHTMP)
+	$(GO) run ./cmd/benchjson -o BENCH_multiloop.json.part $(BENCHTMP)
+	mv BENCH_multiloop.json.part BENCH_multiloop.json
+	rm -f $(BENCHTMP)
+	$(GO) test -short -run=XXX -bench=BenchmarkHotPath -benchtime=100000x -benchmem ./internal/pool/ ./internal/rt/ > $(BENCHTMP).part
+	mv $(BENCHTMP).part $(BENCHTMP)
+	cat $(BENCHTMP)
+	$(GO) run ./cmd/benchjson -o BENCH_hotpath.json.part $(BENCHTMP)
+	if [ -f BENCH_hotpath.json ]; then \
+		$(GO) run ./cmd/benchjson -check BENCH_hotpath.json.part -baseline BENCH_hotpath.json; \
+	fi
+	mv BENCH_hotpath.json.part BENCH_hotpath.json
 	rm -f $(BENCHTMP)
 	$(GO) test -short -run=XXX -bench='BenchmarkReplay(Exact|WhatIf)' -benchtime=5x ./internal/replay/
 
 bench-check:
 	$(GO) run ./cmd/benchjson -check BENCH_multiloop.json
+	$(GO) run ./cmd/benchjson -check BENCH_hotpath.json -baseline BENCH_hotpath.json

@@ -10,13 +10,19 @@
 //	benchjson -o BENCH.json bench.txt   # write to file
 //	benchjson -check BENCH.json         # validate: parses and is non-empty
 //
+//	benchjson -check NEW.json -baseline OLD.json
+//	  # additionally diff against a committed baseline: fail when any
+//	  # benchmark present in both files regressed its allocs/op — the
+//	  # allocation trajectory is only allowed to go down
+//
 // With no file argument the benchmark text is read from stdin. The parser
 // accepts the standard line format
 //
 //	BenchmarkName/sub=1-8   	 123	 456 ns/op	 789 B/op	 2 allocs/op
 //
-// keeping every value/unit pair (including custom b.ReportMetric units such
-// as iters/s); non-benchmark lines are ignored.
+// keeping every value/unit pair (including the -benchmem B/op and allocs/op
+// columns and custom b.ReportMetric units such as iters/s); non-benchmark
+// lines are ignored.
 package main
 
 import (
@@ -41,10 +47,19 @@ type Result struct {
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	check := flag.String("check", "", "validate an existing JSON file and exit")
+	baseline := flag.String("baseline", "", "with -check: fail if allocs/op regressed versus this baseline JSON")
 	flag.Parse()
 
+	if *baseline != "" && *check == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -baseline requires -check")
+		os.Exit(2)
+	}
 	if *check != "" {
-		if err := checkFile(*check); err != nil {
+		err := checkFile(*check)
+		if err == nil && *baseline != "" {
+			err = checkBaseline(*check, *baseline)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -129,24 +144,78 @@ func emit(results []Result, path string) error {
 // checkFile validates that path holds a non-empty benchjson document whose
 // entries all carry a name and at least one metric.
 func checkFile(path string) error {
+	_, err := loadResults(path)
+	return err
+}
+
+func loadResults(path string) ([]Result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var results []Result
 	if err := json.Unmarshal(data, &results); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(results) == 0 {
-		return fmt.Errorf("%s: no benchmark entries", path)
+		return nil, fmt.Errorf("%s: no benchmark entries", path)
 	}
 	for i, r := range results {
 		if r.Name == "" {
-			return fmt.Errorf("%s: entry %d has no name", path, i)
+			return nil, fmt.Errorf("%s: entry %d has no name", path, i)
 		}
 		if len(r.Metrics) == 0 {
-			return fmt.Errorf("%s: entry %q has no metrics", path, r.Name)
+			return nil, fmt.Errorf("%s: entry %q has no metrics", path, r.Name)
 		}
+	}
+	return results, nil
+}
+
+// checkBaseline diffs the allocs/op columns of two benchjson documents and
+// fails on any regression: a benchmark present in both files must not report
+// more allocs/op than the committed baseline. Benchmarks present in only one
+// file are ignored (suites may gain or lose rows), as are entries without an
+// allocs/op metric (runs taken without -benchmem carry no allocation data to
+// compare). Allocation counts are deterministic, so the comparison is exact
+// — there is no noise tolerance to tune.
+func checkBaseline(newPath, basePath string) error {
+	nres, err := loadResults(newPath)
+	if err != nil {
+		return err
+	}
+	bres, err := loadResults(basePath)
+	if err != nil {
+		return err
+	}
+	base := make(map[string]float64, len(bres))
+	for _, r := range bres {
+		if a, ok := r.Metrics["allocs/op"]; ok {
+			base[r.Name] = a
+		}
+	}
+	var regressions []string
+	compared := 0
+	for _, r := range nres {
+		a, ok := r.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		old, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		if a > old {
+			regressions = append(regressions,
+				fmt.Sprintf("  %s: %g allocs/op (baseline %g)", r.Name, a, old))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("%s vs %s: no common benchmarks with allocs/op to compare", newPath, basePath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%s: allocs/op regressed versus %s:\n%s",
+			newPath, basePath, strings.Join(regressions, "\n"))
 	}
 	return nil
 }

@@ -194,13 +194,25 @@ func (a *AIDDynamic) R() (r []float64, ok bool) {
 // estimate of the per-core-type speedup factors.
 func (a *AIDDynamic) SFEstimate() ([]float64, bool) { return a.R() }
 
+// SFLiveView implements SFLiveViewer: R tables are published by pointer
+// swap and never mutated in place (smoothR builds a fresh slice), so the
+// current table can be handed out without a copy.
+func (a *AIDDynamic) SFLiveView() []float64 {
+	if rp := a.r.Load(); rp != nil {
+		return *rp
+	}
+	return nil
+}
+
 // InTail reports whether the end-of-loop dynamic(m) switch has engaged.
 func (a *AIDDynamic) InTail() bool { return a.tail.Load() }
 
-// take serves thread tid up to n iterations via its claimState, from the
-// thread's current home shard.
+// take serves thread tid up to n iterations via its claimState, on the
+// batched credit path from the thread's current home shard: the sampling,
+// wait and drain states draw most minor chunks from a thread-local credit
+// instead of paying one pool RMW per chunk.
 func (a *AIDDynamic) take(tid int, st *aidDynThread, n int64, asg *Assign) (Assign, bool) {
-	return st.take(a.ws, int(a.types[tid].Load()), n, asg)
+	return st.takeCredit(a.ws, int(a.types[tid].Load()), n, asg)
 }
 
 // clampR keeps the progress ratio inside a sane envelope; a wildly wrong
@@ -325,7 +337,10 @@ func (a *AIDDynamic) aidAssign(tid int, st *aidDynThread, asg *Assign, nowNs int
 	if want < a.m {
 		want = a.m
 	}
-	st.delta = 0
+	// Re-arm δ at the thread's unserved credit balance: that work is still
+	// owned (and will be executed this phase), so zeroing it outright would
+	// under-count the next allotment subtraction.
+	st.delta = st.credit.N()
 	// Claim the allotment across shards: clipping it to a nearly drained
 	// home shard would shrink the phase to a sliver, and rescaling a tiny
 	// measured chunk to the nominal size amplifies timer noise straight
@@ -334,6 +349,17 @@ func (a *AIDDynamic) aidAssign(tid int, st *aidDynThread, asg *Assign, nowNs int
 	rs, acc := a.ws.StealSpan(int(a.types[tid].Load()), want)
 	asg.PoolAccesses += acc
 	got, ok := a.serveAllotment(st, rs, asg)
+	if !ok {
+		// Pool drained under the allotment claim, but the thread may still
+		// hold credit; the drain path serves it — a thread must never
+		// retire while it owns iterations.
+		st.state = stDrain
+		if st.credit.Empty() {
+			// StealSpan above already observed the drained pool.
+			return got, false
+		}
+		return a.take(tid, st, a.m, asg)
+	}
 	return got, ok
 }
 

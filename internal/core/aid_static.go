@@ -201,10 +201,23 @@ func (a *AIDHybrid) SFEstimate() (sf []float64, ok bool) {
 	return append([]float64(nil), a.sf...), true
 }
 
-// take serves thread tid up to n iterations via its claimState, from the
-// thread's current home shard.
+// SFLiveView implements SFLiveViewer: the published table is only ever
+// replaced wholesale inside the single-threaded transition window (or set
+// once by the offline constructor) before the epoch advances, so returning
+// it without a copy is safe for concurrent readers.
+func (a *AIDHybrid) SFLiveView() []float64 {
+	if a.phase.epoch() == 0 {
+		return nil
+	}
+	return a.sf
+}
+
+// take serves thread tid up to n iterations via its claimState, on the
+// batched credit path from the thread's current home shard: the sampling
+// and drain states draw most chunks from a thread-local credit instead of
+// paying one pool RMW per chunk.
 func (a *AIDHybrid) take(tid int, st *perThread, n int64, asg *Assign) (Assign, bool) {
-	return st.take(a.ws, int(a.types[tid].Load()), n, asg)
+	return st.takeCredit(a.ws, int(a.types[tid].Load()), n, asg)
 }
 
 // computeSF derives per-type SF values from the sampling counters: the
@@ -270,13 +283,15 @@ func (a *AIDHybrid) finalAssign(tid int, st *perThread, asg *Assign) (Assign, bo
 		rs = append(rs, drained...)
 	}
 	if len(rs) == 0 {
-		if asg.PoolAccesses > 0 {
-			// The span/drain probes above already observed the drained
-			// pool; serve any stash without charging a further access.
+		if asg.PoolAccesses > 0 && len(st.pending) == 0 && st.credit.Empty() {
+			// The span/drain probes above already observed the drained pool
+			// and the thread owns nothing: retire without a further access.
 			return st.serve(nil, asg)
 		}
-		// want <= 0: the thread covered its share during sampling; send it
-		// straight to the drain state (it will mop up leftovers, if any).
+		// Fall through to the drain path, which serves the stash AND the
+		// thread's credit — a thread must never retire while it still owns
+		// iterations (want <= 0 lands here too: the thread covered its
+		// share during sampling and mops up leftovers, if any).
 		return a.take(tid, st, a.chunk, asg)
 	}
 	return st.serve(rs, asg)

@@ -21,6 +21,10 @@ type claimState struct {
 	// pending is the stash: ranges already claimed from the pool and
 	// awaiting execution by this thread.
 	pending []pool.Range
+	// credit is the thread-local claim balance of the batched credit path
+	// (takeCredit): iterations removed from the pool in one RMW and drawn
+	// down locally. Like pending, it counts in delta at claim time.
+	credit pool.Credit
 }
 
 // pop takes the next stashed range, if any.
@@ -53,6 +57,32 @@ func (cs *claimState) take(ws *pool.ShardedWorkShare, home int, n int64, asg *As
 	if hi-lo > n {
 		cs.pending = append(cs.pending, pool.Range{Lo: lo + n, Hi: hi})
 		hi = lo + n
+	}
+	cs.lastN = hi - lo
+	asg.Lo, asg.Hi = lo, hi
+	return *asg, true
+}
+
+// takeCredit is take on the batched credit path: stash first, then the
+// thread's credit (a thread-local draw, no shared RMW), then the pool —
+// where one fetch-and-add claims pool.CreditBatch chunks and banks the
+// surplus as new credit. δ accounting mirrors take: everything claimed is
+// added at claim time and anything successfully returned to the pool (a
+// credit handed back across a re-partition) is subtracted, so δ always
+// equals the iterations this thread owns. ok=false only when the pool,
+// stash and credit are all empty.
+func (cs *claimState) takeCredit(ws *pool.ShardedWorkShare, home int, n int64, asg *Assign) (Assign, bool) {
+	if r, ok := cs.pop(); ok {
+		cs.lastN = r.N()
+		asg.Lo, asg.Hi = r.Lo, r.Hi
+		return *asg, true
+	}
+	lo, hi, st, ok := ws.TryStealCredit(home, n, &cs.credit)
+	asg.PoolAccesses += st.Accesses
+	cs.delta += st.Claimed - st.Returned
+	if !ok {
+		cs.lastN = 0
+		return *asg, false
 	}
 	cs.lastN = hi - lo
 	asg.Lo, asg.Hi = lo, hi

@@ -341,3 +341,16 @@ type Migratable interface {
 type SFEstimator interface {
 	SFEstimate() (sf []float64, ok bool)
 }
+
+// SFLiveViewer is the zero-copy companion of SFEstimator for polling hot
+// paths: SFLiveView returns the scheduler's current estimate WITHOUT
+// copying, or nil while none is published. The returned slice is the
+// published table itself — the implementations replace it wholesale
+// (pointer swap, epoch-gated publication) and never mutate it in place, so
+// it is safe to read concurrently but MUST be treated as immutable by the
+// caller. The multi-loop registry reads it on every scheduling pick; the
+// copy SFEstimate makes per call is exactly the allocation a steady-state
+// pick cannot afford.
+type SFLiveViewer interface {
+	SFLiveView() []float64
+}

@@ -42,8 +42,10 @@
 //     core class, it never removes the loop from its own class.
 package fair
 
-// Candidate describes one runnable loop to a policy. Candidate slices are
-// always presented in admission order (ascending ID).
+// Candidate describes one runnable loop to a policy. Slice order is
+// unspecified (the registry's runnable list is compacted by swap-remove,
+// so it is NOT admission order); policies that care about age must order
+// by ID, which is admission-ordered by construction.
 type Candidate struct {
 	// ID is the loop's admission-ordered identifier, unique within a fleet.
 	ID uint64
@@ -122,17 +124,23 @@ func NewWeightedRoundRobin(quantum int) Policy {
 // Name implements Policy.
 func (w *weightedRoundRobin) Name() string { return "wrr" }
 
-// Pick implements Policy: the first candidate whose ID follows the one this
-// worker served last, wrapping to the oldest loop.
+// Pick implements Policy: the lowest candidate ID above the one this
+// worker served last, wrapping to the oldest (lowest-ID) loop. Selection
+// is by ID, never by slice position, so it is independent of the order the
+// engine presents candidates in.
 func (w *weightedRoundRobin) Pick(tid int, cands []Candidate) (int, int) {
-	idx := 0
-	if last, seen := w.last[tid]; seen {
-		for i, c := range cands {
-			if c.ID > last {
-				idx = i
-				break
-			}
+	last, seen := w.last[tid]
+	idx, oldest := -1, 0
+	for i, c := range cands {
+		if c.ID < cands[oldest].ID {
+			oldest = i
 		}
+		if seen && c.ID > last && (idx < 0 || c.ID < cands[idx].ID) {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		idx = oldest
 	}
 	c := cands[idx]
 	w.last[tid] = c.ID
@@ -173,6 +181,16 @@ func NewFCFS() Policy { return fcfs{} }
 // Name implements Policy.
 func (fcfs) Name() string { return "fcfs" }
 
-// Pick implements Policy: always the oldest loop, with an effectively
-// unbounded burst (the caller re-picks when the loop retires the worker).
-func (fcfs) Pick(int, []Candidate) (int, int) { return 0, 1 << 30 }
+// Pick implements Policy: always the oldest (lowest-ID) loop, with an
+// effectively unbounded burst (the caller re-picks when the loop retires
+// the worker). Oldest is found by ID — candidate slice order carries no
+// age information.
+func (fcfs) Pick(_ int, cands []Candidate) (int, int) {
+	idx := 0
+	for i, c := range cands {
+		if c.ID < cands[idx].ID {
+			idx = i
+		}
+	}
+	return idx, 1 << 30
+}

@@ -1,0 +1,214 @@
+package pool
+
+import "runtime"
+
+// CreditBatch is the number of chunks a credit acquisition claims from the
+// pool in one atomic RMW. A worker on the credit path (TryStealCredit) pays
+// one fetch-and-add per CreditBatch chunks instead of one per chunk and
+// draws the rest thread-locally, which is what removes the per-chunk
+// cache-line contention at fine chunk granularity (the left end of the
+// paper's Fig. 8 chunk sweep).
+const CreditBatch = 8
+
+// Credit is a worker's thread-local claim balance: a contiguous iteration
+// range already removed from the pool but not yet served, plus the shard it
+// was claimed from and the re-partition sequence observed at claim time.
+// Draws against the balance are plain loads and stores — no shared memory
+// is touched — so only the acquisition (and the drained-pool conclusion)
+// costs an atomic RMW.
+//
+// A Credit belongs to exactly one worker and must never be shared. The zero
+// value is an empty credit.
+type Credit struct {
+	lo, hi int64
+	s      *shard
+	seq    uint64
+}
+
+// N returns the number of unserved iterations in the credit.
+func (c *Credit) N() int64 {
+	if c.s == nil {
+		return 0
+	}
+	return c.hi - c.lo
+}
+
+// Empty reports whether the credit holds no iterations.
+func (c *Credit) Empty() bool { return c.N() == 0 }
+
+// CreditSteal reports what one TryStealCredit call did, for the caller's δ
+// and pool-access accounting: Accesses counts atomic RMW operations
+// (acquisition fetch-and-adds, return CAS attempts, drained-pool
+// observations), Claimed the iterations newly removed from the pool
+// (served plus credited), and Returned the iterations handed back to the
+// pool by a credit return.
+type CreditSteal struct {
+	Accesses int
+	Claimed  int64
+	Returned int64
+}
+
+// ReturnCredit attempts to hand the unused part of a credit back to the
+// pool, so a re-partition (Reweight) can redistribute it. The return is a
+// single CAS that rolls the shard's claim counter back from the credit's
+// upper bound to its lower bound; it can only succeed while the counter
+// still stands exactly at the credit's upper bound — i.e. nothing was
+// claimed from the shard since the acquisition. On success the caller no
+// longer owns the iterations and the credit is emptied; on failure the
+// caller keeps the credit and must serve it.
+//
+// A credit that reaches its shard's end is never returned (the CAS is
+// refused outright): Reweight concludes a shard is drained without writing
+// its counter in exactly that state, so a successful end-of-shard rollback
+// could resurrect work on a generation no claimer can reach. Keeping the
+// strict-inequality guard is what makes the return linearizable against the
+// Reweight drain — see doc.go, "Hot-path invariants".
+func (ws *ShardedWorkShare) ReturnCredit(c *Credit) (returned int64, casTried bool) {
+	if c.s == nil {
+		return 0, false
+	}
+	if c.lo >= c.hi {
+		*c = Credit{}
+		return 0, false
+	}
+	if c.hi >= c.s.end {
+		// End-of-shard credit: refused outright, no RMW performed.
+		return 0, false
+	}
+	if c.s.next.CompareAndSwap(c.hi, c.lo) {
+		returned = c.hi - c.lo
+		*c = Credit{}
+		return returned, true
+	}
+	return 0, true
+}
+
+// creditClamp tapers a credit acquisition as its shard drains, guided
+// style: the grab never exceeds remaining/(4·CreditBatch) iterations (a
+// possibly stale shared-mode read — the clamp is a balance heuristic, never
+// a correctness condition) and never shrinks below one chunk. Far from the
+// end the full batch goes through, so the steady-state RMW amortization is
+// untouched; the last few dozen grabs of a shard degenerate to strict
+// single chunks, which keeps the end-of-loop imbalance of batched claiming
+// at the strict path's level instead of multiplying it by CreditBatch.
+func creditClamp(batch, chunk, remaining int64) int64 {
+	if cap := remaining / (4 * CreditBatch); cap < batch {
+		batch = cap
+	}
+	if batch < chunk {
+		return chunk
+	}
+	return batch
+}
+
+// TryStealCredit removes up to chunk iterations with batched credit-based
+// claiming: a claim that has to go to the pool acquires CreditBatch×chunk
+// iterations in one fetch-and-add (home shard preferred, richest foreign
+// shard as fallback, exactly like TryStealBatch) and the surplus is kept in
+// the caller's credit, from which subsequent calls draw without touching
+// shared memory. The steady-state cost is therefore one atomic RMW per
+// CreditBatch chunks and zero heap allocations.
+//
+// When a re-partition has been published since the credit was acquired
+// (the pool's seqlock moved), the unused balance is first offered back to
+// the pool via ReturnCredit so Reweight's new cut can cover it; if the
+// return loses the race the caller simply keeps serving the credit — the
+// iterations are owned either way, so exactly-once coverage is preserved.
+//
+// ok=false means the pool is drained AND the credit is empty; as with
+// every claim path, that conclusion is validated against the re-partition
+// seqlock before it is returned.
+func (ws *ShardedWorkShare) TryStealCredit(home int, chunk int64, c *Credit) (lo, hi int64, st CreditSteal, ok bool) {
+	if chunk <= 0 || home < 0 {
+		badSteal(home, chunk)
+	}
+	if c.s != nil && c.lo < c.hi {
+		if seq := ws.seq.Load(); seq != c.seq {
+			ret, tried := ws.ReturnCredit(c)
+			if tried {
+				st.Accesses++
+			}
+			if ret > 0 {
+				st.Returned = ret
+			} else {
+				// Keep the balance, stop re-trying the return on every draw:
+				// the counter has moved on, so the CAS can never succeed for
+				// this credit again.
+				c.seq = seq
+			}
+		}
+	}
+	if c.s != nil && c.lo < c.hi {
+		lo = c.lo
+		hi = lo + chunk
+		if hi > c.hi {
+			hi = c.hi
+		}
+		c.lo = hi
+		if c.lo >= c.hi {
+			*c = Credit{}
+		}
+		return lo, hi, st, true
+	}
+	batch := chunk * CreditBatch
+	if batch/CreditBatch != chunk {
+		batch = chunk // overflow guard for absurd chunk sizes
+	}
+	for {
+		seq := ws.seq.Load()
+		g := ws.gen.Load()
+		ht := g.clampType(home)
+		for _, si := range g.byType[ht] {
+			s := &g.shards[si]
+			if s.dead.Load() {
+				continue
+			}
+			b := creditClamp(batch, chunk, s.remaining())
+			if lo = s.next.Add(b) - b; lo < s.end {
+				end := lo + b
+				if end > s.end {
+					end = s.end
+				}
+				if hi = lo + chunk; hi > end {
+					hi = end
+				}
+				if end > hi {
+					*c = Credit{lo: hi, hi: end, s: s, seq: seq}
+				}
+				st.Accesses++
+				st.Claimed += end - lo
+				return lo, hi, st, true
+			}
+			s.dead.Store(true)
+			st.Accesses++
+		}
+		for {
+			v := g.richestForeign(ht)
+			if v < 0 {
+				break
+			}
+			st.Accesses++
+			b := creditClamp(batch, chunk, g.shards[v].remaining())
+			if clo, chi, cok := g.shards[v].claim(b); cok {
+				ws.foreign.Add(1)
+				lo = clo
+				if hi = lo + chunk; hi > chi {
+					hi = chi
+				}
+				if chi > hi {
+					*c = Credit{lo: hi, hi: chi, s: &g.shards[v], seq: seq}
+				}
+				st.Claimed += chi - clo
+				return lo, hi, st, true
+			}
+			g.shards[v].dead.Store(true)
+		}
+		if ws.drainedValid(seq) {
+			if st.Accesses == 0 {
+				st.Accesses = 1 // the drained-pool observation
+			}
+			return 0, 0, st, false
+		}
+		runtime.Gosched() // re-partition in flight: retry on the new generation
+	}
+}

@@ -1,0 +1,341 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCreditSingleThreadCoverage drains a pool through the credit path with
+// a single claimer and checks exactly-once coverage plus the amortization
+// the credit exists for: far from the end one RMW serves CreditBatch
+// chunks, so the total access count must sit well below the chunk count.
+func TestCreditSingleThreadCoverage(t *testing.T) {
+	const ni = 100003
+	const chunk = 7
+	cover(t, ni, func(mark func(lo, hi int64)) {
+		ws := NewSharded(ni, []int{1, 1})
+		var c Credit
+		accesses := 0
+		for home := 0; ; home = 1 - home {
+			lo, hi, st, ok := ws.TryStealCredit(home, chunk, &c)
+			accesses += st.Accesses
+			if !ok {
+				if !c.Empty() {
+					t.Fatal("drained with a non-empty credit")
+				}
+				break
+			}
+			if hi-lo > chunk {
+				t.Fatalf("served [%d,%d), more than one chunk", lo, hi)
+			}
+			mark(lo, hi)
+		}
+		// ~ni/chunk calls; strict claiming would pay ~ni/chunk RMWs. The
+		// credit path must amortize by CreditBatch modulo the end-of-shard
+		// taper, so half the strict count is a very loose ceiling.
+		if calls := ni / chunk; accesses > calls/2 {
+			t.Errorf("credit path used %d pool accesses for %d calls (no amortization)", accesses, calls)
+		}
+	})
+}
+
+// TestCreditTripCountsBelowBatch covers loops shorter than one credit grab
+// (trip count < CreditBatch x chunk), where creditClamp degenerates every
+// acquisition to a strict chunk: coverage must stay exactly-once and the
+// drained conclusion must still arrive.
+func TestCreditTripCountsBelowBatch(t *testing.T) {
+	const chunk = 4
+	for _, ni := range []int64{1, 3, chunk, chunk + 1, 2*chunk + 1, CreditBatch*chunk - 1} {
+		ni := ni
+		t.Run(fmt.Sprintf("ni=%d", ni), func(t *testing.T) {
+			cover(t, ni, func(mark func(lo, hi int64)) {
+				ws := NewSharded(ni, []int{1, 1})
+				var c Credit
+				for {
+					lo, hi, _, ok := ws.TryStealCredit(0, chunk, &c)
+					if !ok {
+						if !c.Empty() {
+							t.Fatal("drained with a non-empty credit")
+						}
+						return
+					}
+					mark(lo, hi)
+				}
+			})
+		})
+	}
+}
+
+// TestReturnCreditDirect unit-tests the rollback CAS in isolation: success
+// while the shard counter still stands at the credit's upper bound, refusal
+// after an intervening claim moved the counter, outright (RMW-free) refusal
+// for an end-of-shard credit, and the no-op cases.
+func TestReturnCreditDirect(t *testing.T) {
+	const ni = 4096
+	const chunk = 2
+	ws := NewSharded(ni, []int{1})
+	var c Credit
+
+	// Acquire: one grab of CreditBatch*chunk, serving the first chunk.
+	lo, hi, st, ok := ws.TryStealCredit(0, chunk, &c)
+	if !ok || lo != 0 || hi != chunk {
+		t.Fatalf("first credit steal = [%d,%d) ok=%v", lo, hi, ok)
+	}
+	if want := int64(CreditBatch*chunk) - chunk; c.N() != want {
+		t.Fatalf("credit holds %d iterations, want %d", c.N(), want)
+	}
+	if st.Claimed != CreditBatch*chunk {
+		t.Fatalf("st.Claimed = %d, want %d", st.Claimed, CreditBatch*chunk)
+	}
+	before := ws.Remaining()
+
+	// Success: nothing claimed since the acquisition, the CAS rolls back.
+	retN := c.N()
+	returned, tried := ws.ReturnCredit(&c)
+	if !tried || returned != retN {
+		t.Fatalf("ReturnCredit = (%d,%v), want (%d,true)", returned, tried, retN)
+	}
+	if !c.Empty() {
+		t.Fatal("successful return left a non-empty credit")
+	}
+	if got := ws.Remaining(); got != before+retN {
+		t.Fatalf("Remaining = %d after return, want %d", got, before+retN)
+	}
+
+	// Failure: an intervening strict claim moved the counter, so the
+	// rollback must lose and the caller keeps the credit.
+	if _, _, _, ok := ws.TryStealCredit(0, chunk, &c); !ok {
+		t.Fatal("re-acquisition failed")
+	}
+	if _, _, _, ok := ws.TrySteal(0, 3); !ok {
+		t.Fatal("intervening strict steal failed")
+	}
+	held := c.N()
+	if returned, tried = ws.ReturnCredit(&c); returned != 0 || !tried {
+		t.Fatalf("ReturnCredit after intervening claim = (%d,%v), want (0,true)", returned, tried)
+	}
+	if c.N() != held {
+		t.Fatal("failed return modified the credit")
+	}
+
+	// End-of-shard refusal: a credit whose upper bound touches the shard
+	// end must be refused without an RMW — returning it could resurrect
+	// work on a generation Reweight already concluded drained.
+	eos := Credit{lo: c.s.end - chunk, hi: c.s.end, s: c.s, seq: c.seq}
+	if returned, tried = ws.ReturnCredit(&eos); returned != 0 || tried {
+		t.Fatalf("end-of-shard ReturnCredit = (%d,%v), want (0,false)", returned, tried)
+	}
+	if eos.N() != chunk {
+		t.Fatal("end-of-shard refusal modified the credit")
+	}
+
+	// No-ops: the zero credit and an already-drained balance.
+	var zero Credit
+	if returned, tried = ws.ReturnCredit(&zero); returned != 0 || tried {
+		t.Fatalf("zero-credit ReturnCredit = (%d,%v), want (0,false)", returned, tried)
+	}
+	drained := Credit{lo: 8, hi: 8, s: c.s, seq: c.seq}
+	if returned, tried = ws.ReturnCredit(&drained); returned != 0 || tried {
+		t.Fatalf("empty-balance ReturnCredit = (%d,%v), want (0,false)", returned, tried)
+	}
+	if drained.s != nil {
+		t.Fatal("empty-balance return did not reset the credit")
+	}
+}
+
+// TestCreditHeldAcrossReweight pins the losing side of the return race:
+// Reweight CAS-drains every old-generation shard to its end, so a credit
+// return attempted after the re-partition deterministically loses the CAS.
+// The holder must keep serving the balance (the iterations are not in the
+// new generation), try the return exactly once per re-partition rather than
+// on every draw, and end with exactly-once coverage.
+func TestCreditHeldAcrossReweight(t *testing.T) {
+	const ni = 4096
+	const chunk = 2
+	cover(t, ni, func(mark func(lo, hi int64)) {
+		ws := NewSharded(ni, []int{1, 1})
+		var c Credit
+		lo, hi, _, ok := ws.TryStealCredit(0, chunk, &c)
+		if !ok {
+			t.Fatal("first credit steal failed")
+		}
+		mark(lo, hi)
+		held := c.N()
+		if held == 0 {
+			t.Fatal("no credit banked")
+		}
+
+		ws.Reweight([]int{3, 1})
+		if got := ws.Remaining() + held + (hi - lo); got != ni {
+			t.Fatalf("credit double-counted across reweight: remaining %d + held %d + served %d != %d",
+				ws.Remaining(), held, hi-lo, ni)
+		}
+
+		// The next draw offers the return, loses, and serves the old credit.
+		lo, hi, st, ok := ws.TryStealCredit(0, chunk, &c)
+		if !ok || st.Returned != 0 {
+			t.Fatalf("post-reweight draw = ok=%v returned=%d, want served from held credit", ok, st.Returned)
+		}
+		if st.Accesses != 1 {
+			t.Fatalf("post-reweight draw paid %d accesses, want exactly the one failed return CAS", st.Accesses)
+		}
+		mark(lo, hi)
+		if c.N() != held-(hi-lo) {
+			t.Fatal("draw did not come out of the held credit")
+		}
+
+		// Subsequent draws must not re-try the doomed CAS.
+		lo, hi, st, ok = ws.TryStealCredit(0, chunk, &c)
+		if !ok || st.Accesses != 0 {
+			t.Fatalf("second post-reweight draw paid %d accesses, want 0 (return not re-tried)", st.Accesses)
+		}
+		mark(lo, hi)
+
+		// Drain everything (credit remainder + new generation; the foreign
+		// fallback reaches the other type's shards) and let cover() assert
+		// exactly-once.
+		for {
+			lo, hi, _, ok := ws.TryStealCredit(0, chunk, &c)
+			if !ok {
+				if !c.Empty() {
+					t.Fatal("drained with a non-empty credit")
+				}
+				return
+			}
+			mark(lo, hi)
+		}
+	})
+}
+
+// TestReweightConcurrentCoverageCredit is the credit-path edition of the
+// seqlock stress test: claimers that own thread-local credits race repeated
+// re-partitions, so returns, lost return CASes, and drained conclusions all
+// interleave with the generation swap. Exactly-once coverage must survive,
+// and no claimer may retire holding a non-empty credit.
+func TestReweightConcurrentCoverageCredit(t *testing.T) {
+	const ni = 200000
+	const workers = 6
+	ws := NewSharded(ni, []int{1, 1})
+	seen := make([]atomic.Int32, ni)
+	var claimers, rw sync.WaitGroup
+	stop := make(chan struct{})
+	rw.Add(1)
+	go func() { // the single re-weighter, alternating skew
+		defer rw.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				ws.Reweight([]int{7, 1})
+			} else {
+				ws.Reweight([]int{1, 7})
+			}
+		}
+	}()
+	for g := 0; g < workers; g++ {
+		claimers.Add(1)
+		go func(g int) {
+			defer claimers.Done()
+			home := g % 2
+			var c Credit
+			chunk := int64(1 + g%3) // mix chunk sizes across claimers
+			for n := 0; ; n++ {
+				var lo, hi int64
+				var ok bool
+				switch {
+				case g == 0 && n%64 == 63:
+					// One claimer mixes in span steals: its credit stays
+					// untouched in between, exercising stale-seq returns.
+					rs, _ := ws.StealSpan(home, 50)
+					for _, r := range rs {
+						for i := r.Lo; i < r.Hi; i++ {
+							seen[i].Add(1)
+						}
+					}
+					ok = len(rs) > 0
+				default:
+					lo, hi, _, ok = ws.TryStealCredit(home, chunk, &c)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+				if !ok {
+					if !c.Empty() {
+						t.Errorf("claimer %d retired holding %d credited iterations", g, c.N())
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	claimers.Wait()
+	close(stop)
+	rw.Wait()
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("iteration %d claimed %d times", i, c)
+		}
+	}
+}
+
+// TestCreditStealAllocs pins the zero-allocation property of the claim hot
+// path: neither the strict nor the credit path may allocate, steady state
+// or at acquisition. Runs only without the race detector (instrumentation
+// allocates).
+func TestCreditStealAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	ws := NewSharded(1<<30, []int{1, 1})
+	var c Credit
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, _, _, ok := ws.TryStealCredit(0, 4, &c); !ok {
+			t.Fatal("pool drained mid-measurement")
+		}
+	}); n != 0 {
+		t.Errorf("TryStealCredit allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, _, _, ok := ws.TrySteal(1, 4); !ok {
+			t.Fatal("pool drained mid-measurement")
+		}
+	}); n != 0 {
+		t.Errorf("TrySteal allocates %v per op, want 0", n)
+	}
+}
+
+// BenchmarkHotPath is the headline chunk-removal comparison for the credit
+// work: per-chunk CAS claiming (claim=cas, the strict TrySteal path) against
+// batched credit claiming (claim=credit) over the chunk sizes where the
+// paper's Fig. 8 sweep shows per-chunk overhead dominating. At chunk=1 the
+// credit path must win clearly (one RMW per CreditBatch iterations instead
+// of one per iteration); as chunk grows the gap closes, which is the
+// motivation for keeping both paths.
+func BenchmarkHotPath(b *testing.B) {
+	for _, chunk := range []int64{1, 4, 16} {
+		for _, threads := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("claim=cas/chunk=%d/threads=%d", chunk, threads), func(b *testing.B) {
+				ws := NewSharded(int64(b.N)*chunk*2+1<<20, []int{1, 1})
+				b.ReportAllocs()
+				benchSteal(b, threads, func(g int) func() {
+					home := g % 2
+					return func() { ws.TrySteal(home, chunk) }
+				})
+			})
+			b.Run(fmt.Sprintf("claim=credit/chunk=%d/threads=%d", chunk, threads), func(b *testing.B) {
+				ws := NewSharded(int64(b.N)*chunk*2+1<<20, []int{1, 1})
+				b.ReportAllocs()
+				benchSteal(b, threads, func(g int) func() {
+					home := g % 2
+					c := new(Credit) // per-goroutine, as in the runtime
+					return func() { ws.TryStealCredit(home, chunk, c) }
+				})
+			})
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package pool implements the shared iteration pool that libgomp maintains
+// per parallel loop in its work_share structure (§4.2 of the paper). The
+// state of the pool is a pair (next, end): `next` is the first iteration not
+// yet assigned to any thread and `end` is one past the last iteration of the
+// loop. Threads remove ("steal") chunks with an atomic fetch-and-add on
+// `next`, so the pool is lock free.
+//
+// The package also provides the per-core-type sampling counters the AID
+// methods add to work_share: a lock-free accumulator of sampling-phase
+// completion times per core type, and a counter of threads that completed
+// the sampling phase (footnote 2 of §4.2).
+//
+// # Hot-path invariants
+//
+// This section records the memory layout and coverage arguments the sharded
+// pool's lock-free hot path depends on, so the next rewrite does not have to
+// re-derive them.
+//
+// Shard layout. Each shard owns 64-byte-aligned slots for its two mutable
+// words: `next` (fetch-and-added by every home claim) sits alone on one
+// cache line, `dead` (stored once, when the shard is observed drained) on
+// another, and the immutable bounds (base, end, owner) on a third that stays
+// in every cache in shared mode. The layout is pinned by unsafe.Offsetof
+// assertions in reweight_test.go; if you reorder fields, the test tells you
+// which line you just merged. The ShardedWorkShare header keeps the hot
+// gen/seq words away from the foreign-claims metric the same way.
+//
+// Claim protocol. All claim paths share one structure: read the seqlock
+// (`seq`), load the generation pointer, try home shards, then foreign
+// shards, and — only if everything looks drained — validate the "drained"
+// conclusion with drainedValid(seq). Successful claims are linearized by the
+// per-shard `next` RMWs alone and never consult the seqlock; only the
+// drained conclusion can be stale, because Reweight may have moved the
+// remaining work to a generation the claimer has not seen. The governing
+// invariant of a live shard is
+//
+//	unclaimed(s) ≡ [min(next, end), end)
+//
+// `next` only ever moves forward — with the single exception of a credit
+// return, below.
+//
+// Reweight (generation + seqlock). Reweight bumps `seq` to odd, CAS-drains
+// each shard of the current generation to its end (collecting the
+// leftovers), publishes a freshly cut generation, and bumps `seq` to even.
+// Claims racing the drain either win their range before the CAS lands (the
+// work is theirs; Reweight collects only what is left) or lose and observe
+// an empty shard. A claimer that concludes "drained" while `seq` was odd or
+// changed re-reads the generation and retries, so work never vanishes
+// across a re-cut: every iteration is either claimed by exactly one thread
+// in the old generation or carried into exactly one shard of the new one.
+//
+// Credit-based claiming. TryStealCredit batches the claim RMW: one
+// fetch-and-add removes CreditBatch×chunk iterations, the first chunk is
+// served, and the surplus is kept in a caller-owned Credit from which later
+// calls draw with plain loads/stores. Coverage still holds because the
+// credit is just a claimed-but-unserved range — exactly like the handoff
+// stash — owned by one thread that either serves it or returns it:
+//
+//   - A return (ReturnCredit) is a single CAS rolling `next` back from the
+//     credit's upper bound to its lower bound. It can only succeed while
+//     `next` still equals the upper bound, i.e. no claim intervened, so a
+//     successful return restores the invariant above with the returned
+//     range unclaimed — indistinguishable from it never having been taken.
+//   - A return is refused outright when the credit's upper bound equals the
+//     shard's end. Reweight concludes a shard drained precisely when it
+//     reads next ≥ end (and then breaks WITHOUT writing `next`), so an
+//     end-of-shard rollback could succeed after Reweight already carried
+//     zero leftovers forward — resurrecting iterations on a superseded
+//     generation no claimer will ever visit. The strict `hi < end` guard
+//     makes that impossible: `next` can never drop from ≥ end to < end, so
+//     "drained" is an absorbing observation per shard.
+//   - Against a racing Reweight drain the return linearizes cleanly: if the
+//     drain CAS wins, `next` is at end and the return fails (the thread
+//     keeps serving its credit — iterations it owns); if the return wins,
+//     the drain CAS fails, re-reads the rolled-back `next`, and collects
+//     the returned range into the new generation.
+//
+// Credit holders notice a published re-cut via the seq stamp captured at
+// acquisition and offer their balance back once; whichever way that race
+// resolves, each iteration retains exactly one owner. The conformance
+// harness and the Reweight stress test (reweight_test.go) exercise all
+// three claim families — strict, batch, credit — against concurrent
+// re-cuts and assert exactly-once coverage per iteration.
+package pool

@@ -1,14 +1,3 @@
-// Package pool implements the shared iteration pool that libgomp maintains
-// per parallel loop in its work_share structure (§4.2 of the paper). The
-// state of the pool is a pair (next, end): `next` is the first iteration not
-// yet assigned to any thread and `end` is one past the last iteration of the
-// loop. Threads remove ("steal") chunks with an atomic fetch-and-add on
-// `next`, so the pool is lock free.
-//
-// The package also provides the per-core-type sampling counters the AID
-// methods add to work_share: a lock-free accumulator of sampling-phase
-// completion times per core type, and a counter of threads that completed
-// the sampling phase (footnote 2 of §4.2).
 package pool
 
 import (

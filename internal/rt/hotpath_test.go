@@ -1,0 +1,127 @@
+package rt
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+// TestRegistryHotLayout is the false-sharing guard for the registry's hot
+// data, the rt companion of pool.TestShardLayout: per-worker cells and pick
+// scratch must each fill exactly one cache line (so worker i's updates never
+// invalidate worker i+1's line), and the admission generation — loaded by
+// every worker once per served chunk — must sit clear of both the control
+// plane's mutex and the slice headers the pick path reads.
+func TestRegistryHotLayout(t *testing.T) {
+	if got := unsafe.Sizeof(workerCell{}); got != 64 {
+		t.Errorf("sizeof(workerCell) = %d, want 64 (one cache line per worker)", got)
+	}
+	if got := unsafe.Sizeof(pickScratch{}); got != 64 {
+		t.Errorf("sizeof(pickScratch) = %d, want 64 (one cache line per worker)", got)
+	}
+	var r Registry
+	scratchEnd := unsafe.Offsetof(r.scratch) + unsafe.Sizeof(r.scratch)
+	genOff := unsafe.Offsetof(r.gen)
+	if gap := genOff - scratchEnd; gap < 64 {
+		t.Errorf("gen is %d bytes after the preceding field, want >= 64 (own cache line)", gap)
+	}
+	if gap := unsafe.Offsetof(r.mu) - (genOff + unsafe.Sizeof(r.gen)); gap < 56 {
+		t.Errorf("mu is %d bytes after gen, want >= 56 (Submit's increment must not share the mutex line)", gap)
+	}
+}
+
+// TestRegistrySteadyStateAllocs pins the allocation-free hot path end to
+// end: with the fleet warm (scratch grown, policy cursors populated), a
+// multi-tenant run of tens of thousands of chunks may only allocate the
+// per-submission constants (loop handles, schedulers, pool shards) — if the
+// per-chunk path (claim, serve, pick) allocates, the delta explodes past the
+// threshold and this test fails make ci.
+func TestRegistrySteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	reg, err := NewRegistry(RegistryConfig{NThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	var sink atomic.Int64
+	run := func(n int64) {
+		a, err := reg.Submit(LoopRequest{N: n, Schedule: Schedule{Kind: KindDynamic, Chunk: 4},
+			Body: func(_ int, lo, hi int64) { sink.Add(hi - lo) }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := reg.Submit(LoopRequest{N: n, Schedule: Schedule{Kind: KindAIDHybrid, Chunk: 1},
+			Body: func(_ int, lo, hi int64) { sink.Add(hi - lo) }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Wait()
+		b.Wait()
+	}
+	run(50000) // warm: scratch growth, policy maps, timer setup
+
+	const n = 100000 // ~25k dynamic chunks + ~100k hybrid chunks per run
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	run(n)
+	runtime.ReadMemStats(&m1)
+	delta := m1.Mallocs - m0.Mallocs
+	// Submission constants (schedulers, shards, cells, handles) are a few
+	// hundred objects; 125k chunks at even one alloc each would be 1000x
+	// that. The threshold splits the difference conservatively.
+	if delta > 4000 {
+		t.Errorf("steady-state run of ~125k chunks allocated %d objects, want < 4000 (per-chunk path must not allocate)", delta)
+	}
+	if got := sink.Load(); got != 2*50000+2*n {
+		t.Fatalf("covered %d iterations, want %d", got, 2*50000+2*n)
+	}
+}
+
+// BenchmarkHotPath measures the registry's steady-state per-iteration cost
+// on the claim hot path — submit one loop per b.N batch and drive it through
+// the fleet — at the fine chunk sizes where per-chunk overhead dominates.
+// With -benchmem this is the allocation trajectory the issue pins: the
+// steady-state rows must report 0 allocs/op beyond the per-submission
+// constants (which amortize to ~0 over the iteration counts measured).
+func BenchmarkHotPath(b *testing.B) {
+	for _, c := range []struct {
+		name  string
+		sched Schedule
+	}{
+		{"sched=dynamic/chunk=1", Schedule{Kind: KindDynamic, Chunk: 1}},
+		{"sched=dynamic/chunk=16", Schedule{Kind: KindDynamic, Chunk: 16}},
+		{"sched=aid-hybrid/chunk=1", Schedule{Kind: KindAIDHybrid, Chunk: 1}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			reg, err := NewRegistry(RegistryConfig{NThreads: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer reg.Close()
+			var sink atomic.Int64
+			run := func(n int64) {
+				l, err := reg.Submit(LoopRequest{N: n, Schedule: c.sched,
+					Body: func(_ int, lo, hi int64) { sink.Add(hi - lo) }})
+				if err != nil {
+					b.Fatal(err)
+				}
+				l.Wait()
+			}
+			run(1 << 14) // warm the fleet before the clock starts
+			b.ReportAllocs()
+			b.ResetTimer()
+			run(int64(b.N))
+			b.StopTimer()
+			if got := sink.Load(); got != int64(b.N)+1<<14 {
+				b.Fatalf("covered %d iterations, want %d", got, int64(b.N)+1<<14)
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "iters/s")
+			}
+		})
+	}
+}

@@ -45,13 +45,24 @@ type Registry struct {
 	profile  amp.Profile
 	slowdown []float64
 	types    []int // per-worker home core type (cluster index)
+	typeOf   func(tid int) int
 	policy   fair.Policy
 	base     time.Time
 
+	// scratch holds each worker's private pick buffers (reused across
+	// picks, so the steady-state scheduling path allocates nothing).
+	scratch []pickScratch
+
 	// gen counts admissions; workers snapshot it at pick time and re-enter
 	// the policy when it changes, so a newly submitted loop is noticed even
-	// by a worker in the middle of an unbounded single-loop burst.
+	// by a worker in the middle of an unbounded single-loop burst. It sits
+	// alone on its cache line: every worker loads it once per served chunk,
+	// and letting Submit's increment share a line with the mutex word (or
+	// anything else the control plane writes) would broadcast invalidations
+	// into every burst loop in the fleet.
+	_   [64]byte
 	gen atomic.Uint64
+	_   [56]byte
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -141,6 +152,12 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 	for tid := 0; tid < nthreads; tid++ {
 		r.types[tid] = pl.ClusterOf(pl.CoreOf(tid, nthreads, cfg.Binding))
 	}
+	// One type-lookup closure for the registry's lifetime: LoopInfo wants a
+	// func, and building a fresh closure per Submit is an allocation the
+	// admission path does not need.
+	types := r.types
+	r.typeOf = func(tid int) int { return types[tid] }
+	r.scratch = make([]pickScratch, nthreads)
 	r.cond = sync.NewCond(&r.mu)
 	r.wg.Add(nthreads)
 	for tid := 0; tid < nthreads; tid++ {
@@ -168,9 +185,7 @@ func (r *Registry) loopInfo(n int64) core.LoopInfo {
 		NI:       n,
 		NThreads: r.nthreads,
 		NumTypes: len(r.platform.Clusters),
-		TypeOf: func(tid int) int {
-			return r.platform.ClusterOf(r.platform.CoreOf(tid, r.nthreads, r.binding))
-		},
+		TypeOf:   r.typeOf,
 	}
 }
 
@@ -209,26 +224,43 @@ type Loop struct {
 	sched    core.Scheduler
 	body     func(tid int, lo, hi int64)
 
-	// iters and accesses are worker-indexed: slot tid is written only by
-	// worker tid and published to the waiter by close(done), which
-	// happens-after every worker's retirement (each retirement passes
-	// through the registry lock).
-	iters    []int64
-	accesses []int64
+	// cells is worker-indexed: cell tid is written only by worker tid and
+	// published to the waiter by close(done), which happens-after every
+	// worker's retirement (each retirement passes through the registry
+	// lock). One padded cell per worker replaces the old parallel
+	// iters/accesses/finishNs slices, whose 8-byte slots shared cache
+	// lines across workers — every chunk's counter bump invalidated the
+	// line of up to seven neighbours.
+	cells    []workerCell
 	retired  []bool // guarded by Registry.mu
 	nretired int    // guarded by Registry.mu
 
+	// sfView caches the scheduler's zero-copy live-SF interface (nil when
+	// unsupported), so the per-pick candidate build is a plain call, not a
+	// type assertion plus a defensive copy.
+	sfView core.SFLiveViewer
+
 	// capture is non-nil when the loop records its execution: slot tid is
-	// a private tape appended only by worker tid (published like iters).
-	// finishNs[tid] is the worker's retirement time on the fleet clock.
-	capture  []paddedTape
-	finishNs []int64
-	startNs  int64
+	// a private tape appended only by worker tid (published like cells).
+	capture []paddedTape
+	startNs int64
 
 	submitted time.Time
 	latency   time.Duration
 	stats     LoopStats
 	done      chan struct{}
+}
+
+// workerCell is one worker's private counters for one loop: iterations
+// executed, pool accesses charged, and (under capture) the worker's
+// retirement time on the fleet clock. Padded to exactly one cache line so
+// neighbouring workers' per-chunk updates never contend; the size is pinned
+// by a layout test.
+type workerCell struct {
+	iters    int64
+	accesses int64
+	finishNs int64
+	_        [40]byte
 }
 
 // ID returns the loop's admission-ordered identifier.
@@ -257,7 +289,12 @@ func (l *Loop) Latency() time.Duration { return l.latency }
 // goroutine at any time: the schedulers publish their tables through
 // atomics, so this is the mid-run view the fairness policy steers by, not
 // a retirement-only statistic.
+// The returned slice is the scheduler's published table — read-only; do
+// not mutate it.
 func (l *Loop) LiveSF() []float64 {
+	if l.sfView != nil {
+		return l.sfView.SFLiveView()
+	}
 	if est, ok := l.sched.(core.SFEstimator); ok {
 		if sf, ready := est.SFEstimate(); ready {
 			return sf
@@ -293,16 +330,24 @@ func (r *Registry) Submit(req LoopRequest) (*Loop, error) {
 		schedule:  req.Schedule,
 		sched:     sched,
 		body:      req.Body,
-		iters:     make([]int64, r.nthreads),
-		accesses:  make([]int64, r.nthreads),
+		cells:     make([]workerCell, r.nthreads),
 		retired:   make([]bool, r.nthreads),
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	if v, ok := sched.(core.SFLiveViewer); ok {
+		l.sfView = v
+	}
 	if req.Capture {
 		l.capture = make([]paddedTape, r.nthreads)
-		l.finishNs = make([]int64, r.nthreads)
 		l.startNs = r.now()
+		// Pre-size the tapes from the schedule's chunk geometry so the
+		// capturing hot path appends into reserved space instead of
+		// growing its buffers mid-run.
+		est := tapeEstimate(req.N, req.Schedule.Chunk, r.nthreads)
+		for tid := range l.capture {
+			l.capture[tid].Reserve(est)
+		}
 		if po, ok := sched.(core.PhaseObservable); ok {
 			// The observer runs on the transition-owning worker and appends
 			// to that worker's private tape, so the capture path inherits
@@ -388,8 +433,13 @@ func (r *Registry) BuildRecord(loops ...*Loop) (*trace.Record, error) {
 	}); err != nil {
 		return nil, err
 	}
-	var evs []trace.ChunkEvent
-	var phs []trace.PhaseEvent
+	var nev, nph int
+	for _, l := range loops {
+		nev += len(l.stats.Events)
+		nph += len(l.stats.Phases)
+	}
+	evs := make([]trace.ChunkEvent, 0, nev)
+	phs := make([]trace.PhaseEvent, 0, nph)
 	for _, l := range loops {
 		idx := rec.AddLoop(trace.LoopRecord{
 			Name:      l.name,
@@ -412,17 +462,13 @@ func (r *Registry) BuildRecord(loops ...*Loop) (*trace.Record, error) {
 		}
 	}
 	sortEvents(evs)
+	rec.ReserveChunks(len(evs))
 	for _, ev := range evs {
 		rec.Chunk(ev)
 	}
 	// Per-loop phase streams are already sorted; interleave them
-	// chronologically across loops.
-	sort.SliceStable(phs, func(i, j int) bool {
-		if phs[i].TimeNs != phs[j].TimeNs {
-			return phs[i].TimeNs < phs[j].TimeNs
-		}
-		return phs[i].Tid < phs[j].Tid
-	})
+	// chronologically across loops (stable, to preserve each stream).
+	sort.Stable(phaseEventOrder(phs))
 	for _, p := range phs {
 		rec.Phase(p)
 	}
@@ -459,6 +505,37 @@ type paddedTape struct {
 	_ [64]byte
 }
 
+// tapeEstimate guesses how many chunk grants one worker will capture for a
+// loop of n iterations under the given chunk size (0 = schedule default,
+// treated as 1, the paper's fine-grained default). The guess is clamped to
+// [8, 1<<14] — an estimate only: workloads that blow past it just pay the
+// append growth the reservation usually avoids, and the cap keeps a huge
+// coarse loop from reserving megabytes per worker up front.
+func tapeEstimate(n, chunk int64, nthreads int) int {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	per := n/(chunk*int64(nthreads)) + 4
+	if per < 8 {
+		per = 8
+	}
+	if per > 1<<14 {
+		per = 1 << 14
+	}
+	return int(per)
+}
+
+// pickScratch is one worker's private, reusable pick buffers. The slices
+// grow to the fleet's high-water tenant count and stay there, so the
+// steady-state pick path performs no allocations; the pad keeps
+// neighbouring workers' slice headers off each other's cache lines (the
+// size is pinned by a layout test).
+type pickScratch struct {
+	cands []fair.Candidate
+	loops []*Loop
+	_     [16]byte
+}
+
 // worker is one fleet goroutine: pick a loop under the fairness policy,
 // serve it for the granted burst of scheduler calls, repeat. The chunk
 // execution path is the same lock-free hot path as Team's — the control
@@ -476,13 +553,14 @@ func (r *Registry) worker(tid int) {
 		if l == nil {
 			return
 		}
+		cell := &l.cells[tid]
 		for served := 0; served < burst; served++ {
 			if r.gen.Load() != gen {
 				break // a new loop arrived: give the policy a say
 			}
 			nowNs := r.now()
 			asg, ok := l.sched.Next(tid, nowNs)
-			l.accesses[tid] += int64(asg.PoolAccesses)
+			cell.accesses += int64(asg.PoolAccesses)
 			if !ok {
 				if l.capture != nil {
 					schedEnd := r.now()
@@ -492,12 +570,12 @@ func (r *Registry) worker(tid int) {
 						Tid: tid, Shard: r.types[tid], PoolAccesses: asg.PoolAccesses,
 						Timestamps: asg.Timestamps, Retire: true})
 					wseq++
-					l.finishNs[tid] = schedEnd
+					cell.finishNs = schedEnd
 				}
 				r.retire(l, tid)
 				break
 			}
-			l.iters[tid] += asg.N()
+			cell.iters += asg.N()
 			if l.capture == nil {
 				start := time.Now()
 				l.body(tid, asg.Lo, asg.Hi)
@@ -531,10 +609,9 @@ func (r *Registry) worker(tid int) {
 func (r *Registry) pick(tid int) (*Loop, int, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	cands := make([]fair.Candidate, 0, 4)
-	loops := make([]*Loop, 0, 4)
+	sc := &r.scratch[tid]
 	for {
-		cands, loops = cands[:0], loops[:0]
+		cands, loops := sc.cands[:0], sc.loops[:0]
 		for _, l := range r.run {
 			if !l.retired[tid] {
 				cands = append(cands, fair.Candidate{ID: l.id, Weight: l.weight,
@@ -542,6 +619,7 @@ func (r *Registry) pick(tid int) (*Loop, int, uint64) {
 				loops = append(loops, l)
 			}
 		}
+		sc.cands, sc.loops = cands, loops
 		gen := r.gen.Load()
 		if len(cands) == 1 {
 			// The policy is bypassed, not left behind: stateful policies
@@ -565,6 +643,17 @@ func (r *Registry) pick(tid int) (*Loop, int, uint64) {
 		if r.closed {
 			return nil, 0, 0
 		}
+		// Idle: drop stale loop references (the truncated slices' backing
+		// arrays still hold them) before sleeping, so a long-lived fleet
+		// does not pin retired loops and their capture tapes in memory.
+		full := sc.loops[:cap(sc.loops)]
+		for i := range full {
+			full[i] = nil
+		}
+		fullc := sc.cands[:cap(sc.cands)]
+		for i := range fullc {
+			fullc[i] = fair.Candidate{}
+		}
 		r.cond.Wait()
 	}
 }
@@ -583,9 +672,15 @@ func (r *Registry) retire(l *Loop, tid int) {
 	if l.nretired < r.nthreads {
 		return
 	}
+	// Swap-remove: the runnable list is consulted on every pick under this
+	// lock, and fairness policies order by loop ID, not slice position, so
+	// shifting the whole tail on each retirement buys nothing.
 	for i, cand := range r.run {
 		if cand == l {
-			r.run = append(r.run[:i], r.run[i+1:]...)
+			last := len(r.run) - 1
+			r.run[i] = r.run[last]
+			r.run[last] = nil
+			r.run = r.run[:last]
 			break
 		}
 	}
@@ -594,11 +689,12 @@ func (r *Registry) retire(l *Loop, tid int) {
 	}
 	l.latency = time.Since(l.submitted)
 	l.stats = LoopStats{
-		Iters:         append([]int64(nil), l.iters...),
+		Iters:         make([]int64, len(l.cells)),
 		SchedulerName: l.sched.Name(),
 	}
-	for _, a := range l.accesses {
-		l.stats.PoolAccesses += a
+	for tid := range l.cells {
+		l.stats.Iters[tid] = l.cells[tid].iters
+		l.stats.PoolAccesses += l.cells[tid].accesses
 	}
 	if est, ok := l.sched.(core.SFEstimator); ok {
 		if sf, ready := est.SFEstimate(); ready {
@@ -618,20 +714,23 @@ func (r *Registry) retire(l *Loop, tid int) {
 // the simulator does at its implicit barrier.
 func (l *Loop) mergeCapture(nthreads int) {
 	var maxFinish int64
-	for _, f := range l.finishNs {
-		if f > maxFinish {
+	var nev, nph int
+	for tid := 0; tid < nthreads; tid++ {
+		if f := l.cells[tid].finishNs; f > maxFinish {
 			maxFinish = f
 		}
+		nev += len(l.capture[tid].Events)
+		nph += len(l.capture[tid].Phases)
 	}
 	tr := trace.New(nthreads)
-	var evs []trace.ChunkEvent
-	var phs []trace.PhaseEvent
+	evs := make([]trace.ChunkEvent, 0, nev)
+	phs := make([]trace.PhaseEvent, 0, nph)
 	for tid := 0; tid < nthreads; tid++ {
 		tp := &l.capture[tid].WorkerTape
 		for _, iv := range tp.Intervals {
 			tr.Add(tid, iv.Start, iv.End, iv.State)
 		}
-		tr.Add(tid, l.finishNs[tid], maxFinish, trace.Sync)
+		tr.Add(tid, l.cells[tid].finishNs, maxFinish, trace.Sync)
 		evs = append(evs, tp.Events...)
 		phs = append(phs, tp.Phases...)
 	}
@@ -640,12 +739,7 @@ func (l *Loop) mergeCapture(nthreads int) {
 	// events whose wall-clock stamps collide; the Recorder assigns the
 	// global sequence when a record is built.
 	sortEvents(evs)
-	sort.Slice(phs, func(i, j int) bool {
-		if phs[i].TimeNs != phs[j].TimeNs {
-			return phs[i].TimeNs < phs[j].TimeNs
-		}
-		return phs[i].Tid < phs[j].Tid
-	})
+	sort.Sort(phaseEventOrder(phs))
 	l.stats.StartNs = l.startNs
 	l.stats.EndNs = maxFinish
 	l.stats.Trace = tr
@@ -653,17 +747,38 @@ func (l *Loop) mergeCapture(nthreads int) {
 	l.stats.Phases = phs
 }
 
-// sortEvents orders captured events chronologically; timestamp ties break
-// by thread, then by the per-worker capture sequence (the ground truth for
-// one worker's grant order, which replay depends on).
-func sortEvents(evs []trace.ChunkEvent) {
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].TimeNs != evs[j].TimeNs {
-			return evs[i].TimeNs < evs[j].TimeNs
-		}
-		if evs[i].Tid != evs[j].Tid {
-			return evs[i].Tid < evs[j].Tid
-		}
-		return evs[i].Seq < evs[j].Seq
-	})
+// chunkEventOrder orders captured events chronologically; timestamp ties
+// break by thread, then by the per-worker capture sequence (the ground
+// truth for one worker's grant order, which replay depends on). A named
+// sort.Interface instead of sort.Slice closures: the merge paths run per
+// barrier release, and the closure variants allocate on every call.
+type chunkEventOrder []trace.ChunkEvent
+
+func (e chunkEventOrder) Len() int      { return len(e) }
+func (e chunkEventOrder) Swap(i, j int) { e[i], e[j] = e[j], e[i] }
+func (e chunkEventOrder) Less(i, j int) bool {
+	if e[i].TimeNs != e[j].TimeNs {
+		return e[i].TimeNs < e[j].TimeNs
+	}
+	if e[i].Tid != e[j].Tid {
+		return e[i].Tid < e[j].Tid
+	}
+	return e[i].Seq < e[j].Seq
 }
+
+// phaseEventOrder orders phase transitions chronologically, thread as the
+// tie-break (per-loop streams are already internally ordered, so stable
+// merges across loops preserve each stream).
+type phaseEventOrder []trace.PhaseEvent
+
+func (e phaseEventOrder) Len() int      { return len(e) }
+func (e phaseEventOrder) Swap(i, j int) { e[i], e[j] = e[j], e[i] }
+func (e phaseEventOrder) Less(i, j int) bool {
+	if e[i].TimeNs != e[j].TimeNs {
+		return e[i].TimeNs < e[j].TimeNs
+	}
+	return e[i].Tid < e[j].Tid
+}
+
+// sortEvents orders captured events by chunkEventOrder.
+func sortEvents(evs []trace.ChunkEvent) { sort.Sort(chunkEventOrder(evs)) }

@@ -68,6 +68,17 @@ func (r *Recorder) SetLoopSchedule(idx int, text string) {
 	r.rec.Loops[idx].Schedule = text
 }
 
+// ReserveChunks pre-sizes the event stream for n upcoming Chunk calls, so
+// bulk merges (the registry feeding a whole run's worth of events) append
+// without reallocating mid-stream.
+func (r *Recorder) ReserveChunks(n int) {
+	if free := cap(r.rec.Events) - len(r.rec.Events); free < n {
+		evs := make([]ChunkEvent, len(r.rec.Events), len(r.rec.Events)+n)
+		copy(evs, r.rec.Events)
+		r.rec.Events = evs
+	}
+}
+
 // Chunk appends one grant event, assigning its global sequence number.
 func (r *Recorder) Chunk(ev ChunkEvent) {
 	ev.Seq = r.seq
@@ -100,6 +111,23 @@ type WorkerTape struct {
 	Events    []ChunkEvent
 	Phases    []PhaseEvent
 	Intervals []Interval
+}
+
+// Reserve pre-sizes the tape for roughly nEvents chunk grants — nEvents
+// event slots plus the two intervals (sched + running) each grant appends —
+// so the capturing hot path does not grow its buffers mid-run. An estimate
+// is fine: appends beyond the reservation still work, they just pay the
+// reallocation the reservation exists to avoid.
+func (t *WorkerTape) Reserve(nEvents int) {
+	if nEvents <= 0 {
+		return
+	}
+	if cap(t.Events) < nEvents {
+		t.Events = make([]ChunkEvent, len(t.Events), nEvents)
+	}
+	if n := 2*nEvents + 1; cap(t.Intervals) < n {
+		t.Intervals = make([]Interval, len(t.Intervals), n)
+	}
 }
 
 // AttachTimeline stores the per-thread timeline (single-loop runs).
