@@ -26,6 +26,11 @@
 #                  a failed run never leaves a stale capture or a truncated
 #                  JSON behind; a pre-existing BENCH_hotpath.json doubles as
 #                  the allocs/op baseline the fresh run must not regress.
+#   make serve-smoke - the open-loop service tier end to end: short aidserve
+#                  runs under Poisson arrivals in both engines (the real run
+#                  also exercises sampled capture + record self-diff), their
+#                  Benchmark rows folded into BENCH_serve.json via
+#                  cmd/benchjson, temp-then-rename like the other captures
 #   make bench-check - validate that the committed benchmark JSONs parse and
 #                  that BENCH_hotpath.json still carries allocation columns
 #                  (CI gate)
@@ -33,10 +38,11 @@
 GO ?= go
 REPLAYTMP := .replaytmp
 BENCHTMP := .benchtmp
+SERVETMP := .servetmp
 
-.PHONY: ci vet build test race race-multiloop replay-determinism alloc-check bench bench-short bench-check
+.PHONY: ci vet build test race race-multiloop replay-determinism alloc-check bench bench-short serve-smoke bench-check
 
-ci: vet build race race-multiloop replay-determinism alloc-check bench-short bench-check
+ci: vet build race race-multiloop replay-determinism alloc-check bench-short serve-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -101,6 +107,24 @@ bench-short:
 	rm -f $(BENCHTMP)
 	$(GO) test -short -run=XXX -bench='BenchmarkReplay(Exact|WhatIf)' -benchtime=5x ./internal/replay/
 
+# The service smoke runs short enough for CI but long enough to admit a
+# few hundred loops; the real run's -record path also proves the sampled
+# capture survives its self-diff before the snapshot is accepted.
+serve-smoke:
+	rm -f $(SERVETMP) $(SERVETMP).part $(SERVETMP).rec BENCH_serve.json.part
+	$(GO) run ./cmd/aidserve -arrivals poisson -rate 200 -duration 1s -iters 5000 -spin 50 \
+		-classes gold:8,silver:4,bronze:1 -sample 8 -sample-budget 128 \
+		-record $(SERVETMP).rec -bench > $(SERVETMP).part
+	$(GO) run ./cmd/aidserve -arrivals poisson -rate 200 -duration 1s -iters 5000 -spin 50 \
+		-classes gold:8,silver:4,bronze:1 -virtual -bench >> $(SERVETMP).part
+	mv $(SERVETMP).part $(SERVETMP)
+	cat $(SERVETMP)
+	$(GO) run ./cmd/benchjson -o BENCH_serve.json.part $(SERVETMP)
+	$(GO) run ./cmd/benchjson -check BENCH_serve.json.part
+	mv BENCH_serve.json.part BENCH_serve.json
+	rm -f $(SERVETMP) $(SERVETMP).rec
+
 bench-check:
 	$(GO) run ./cmd/benchjson -check BENCH_multiloop.json
 	$(GO) run ./cmd/benchjson -check BENCH_hotpath.json -baseline BENCH_hotpath.json
+	$(GO) run ./cmd/benchjson -check BENCH_serve.json

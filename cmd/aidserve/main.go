@@ -1,17 +1,31 @@
-// aidserve replays many simultaneous parallel-loop submissions against one
-// shared worker fleet and reports aggregate throughput plus per-loop
-// latency — the benchmark driver for the multi-loop registry (rt.Registry),
-// which models a server executing loop requests from many users at once.
+// aidserve exercises the multi-loop registry (rt.Registry) — the model of
+// a server executing parallel-loop requests from many users at once — in
+// two modes.
 //
-// Usage:
+// The default closed-loop mode replays a fixed batch of simultaneous
+// submissions against one shared worker fleet and reports aggregate
+// throughput plus per-loop latency:
 //
 //	aidserve                                  # 8 loops, wrr, aid-dynamic
 //	aidserve -loops 16 -iters 500000          # heavier replay
 //	aidserve -policy fcfs                     # run-to-completion baseline
-//	aidserve -weights 4,1,1 -sched dynamic,8  # weighted tenants
+//	aidserve -weights 4,1,1,1,1,1,1,1         # weighted tenants (one per loop)
 //	aidserve -policy sf-aware -sched aid-dynamic,1,5,rw
 //	                                          # SF-aware steering + re-cut pools
 //	aidserve -virtual                         # same replay in virtual time
+//
+// The open-loop service mode (-arrivals) runs the registry as a long-lived
+// server: an arrival process submits loops over wall time regardless of
+// completions, tenants are assigned QoS classes that map to fairness
+// weights, a bounded pending queue sheds (or backpressures) the excess,
+// and the report is latency percentiles plus throughput:
+//
+//	aidserve -arrivals poisson -rate 50 -duration 2s
+//	aidserve -arrivals bursty -classes gold:8,bronze:1 -max-pending 32
+//	aidserve -arrivals diurnal -virtual        # same stream in virtual time
+//	aidserve -arrivals poisson -sample 8 -record run.jsonl
+//	                                           # sampled capture -> run record
+//	aidserve -arrivals poisson -bench          # benchjson-compatible lines
 //
 // Real mode runs goroutine workers with emulated asymmetry and reports
 // wall-clock numbers; -virtual replays the identical submission pattern in
@@ -22,37 +36,71 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/amp"
+	"repro/internal/arrival"
 	"repro/internal/fair"
+	"repro/internal/replay"
 	"repro/internal/rt"
 	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
-	loops := flag.Int("loops", 8, "number of simultaneous loop submissions")
+	loops := flag.Int("loops", 8, "closed-loop mode: number of simultaneous loop submissions")
 	iters := flag.Int64("iters", 200_000, "iterations per loop")
 	threads := flag.Int("threads", 0, "fleet size (0 = platform core count)")
 	schedText := flag.String("sched", "aid-dynamic,1,5", "loop schedule in GOOMP_SCHEDULE syntax")
 	policyName := flag.String("policy", "wrr", "fairness policy: wrr|fcfs|sf-aware")
-	weightsCSV := flag.String("weights", "", "comma-separated loop weights, cycled over the loops (default all 1)")
-	spin := flag.Int("spin", 200, "per-iteration spin work units (real mode)")
+	weightsCSV := flag.String("weights", "", "closed-loop mode: comma-separated per-loop weights (default all 1)")
+	spin := flag.Int("spin", 200, "per-iteration spin work units (scaled into virtual cost under -virtual)")
 	virtual := flag.Bool("virtual", false, "replay in the discrete-event engine instead of real goroutines")
+
+	arrivals := flag.String("arrivals", "", "open-loop service mode: arrival process (poisson|bursty|diurnal)")
+	rate := flag.Float64("rate", 50, "mean arrival rate in loops/sec")
+	duration := flag.Duration("duration", 2*time.Second, "length of the arrival window")
+	seed := flag.Uint64("seed", 1, "arrival and sampling seed")
+	classesCSV := flag.String("classes", "std", "QoS classes as name:weight list, assigned round-robin (e.g. gold:8,silver:4,bronze:1)")
+	maxPending := flag.Int("max-pending", 64, "bound on loops admitted but not yet complete (real mode)")
+	shed := flag.Bool("shed", true, "when the pending queue is full, shed the arrival; false blocks the submitter (backpressure)")
+	sample := flag.Int("sample", 0, "capture every Nth admitted loop for the run record (0 = off, real mode)")
+	sampleBudget := flag.Int("sample-budget", 256, "per-loop event budget of sampled captures (0 = unbounded)")
+	sampleHead := flag.Int("sample-head", 0, "head-retention share of -sample-budget (0 = half)")
+	recordPath := flag.String("record", "", "write the sampled run record as JSONL to this path (real mode, needs -sample)")
+	bench := flag.Bool("bench", false, "also emit benchjson-compatible Benchmark lines")
 	flag.Parse()
 
-	if err := run(*loops, *iters, *threads, *schedText, *policyName, *weightsCSV, *spin, *virtual); err != nil {
+	var err error
+	if *arrivals != "" {
+		err = serve(serveOpts{
+			kind: *arrivals, rate: *rate, duration: *duration, seed: *seed,
+			classesCSV: *classesCSV, maxPending: *maxPending, shed: *shed,
+			sampleEvery: *sample, sampleBudget: *sampleBudget, sampleHead: *sampleHead,
+			recordPath: *recordPath, bench: *bench,
+			iters: *iters, threads: *threads, schedText: *schedText,
+			policyName: *policyName, spin: *spin, virtual: *virtual,
+		}, os.Stdout)
+	} else {
+		err = run(*loops, *iters, *threads, *schedText, *policyName, *weightsCSV, *spin, *virtual)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "aidserve:", err)
 		os.Exit(1)
 	}
 }
 
-// parseWeights expands the -weights list over nloops submissions.
+// parseWeights expands the -weights list over nloops submissions. Fewer
+// weights than loops cycle (a short prefix names the heavy tenants); more
+// weights than loops is an error — the surplus used to be dropped
+// silently, hiding typos in the loop count.
 func parseWeights(csv string, nloops int) ([]int, error) {
 	weights := make([]int, nloops)
 	for i := range weights {
@@ -62,6 +110,9 @@ func parseWeights(csv string, nloops int) ([]int, error) {
 		return weights, nil
 	}
 	parts := strings.Split(csv, ",")
+	if len(parts) > nloops {
+		return nil, fmt.Errorf("%d weights for %d loops; drop the surplus or raise -loops", len(parts), nloops)
+	}
 	vals := make([]int, len(parts))
 	for i, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
@@ -88,6 +139,33 @@ func parsePolicy(name string) (fair.Policy, error) {
 	return nil, fmt.Errorf("unknown policy %q (want wrr, fcfs or sf-aware)", name)
 }
 
+// virtualNsPerSpinUnit converts -spin work units into the discrete-event
+// engine's per-iteration cost, so the knob shapes virtual runs exactly as
+// it shapes real ones. The factor keeps the default -spin 200 at the
+// engine's long-standing 10_000 units per iteration.
+const virtualNsPerSpinUnit = 50
+
+func virtualCost(spin int) sim.UniformCost {
+	return sim.UniformCost{PerIter: float64(spin) * virtualNsPerSpinUnit}
+}
+
+// spanOf is the fleet's makespan over a batch of results: last end minus
+// earliest start. The old per-loop maximum of End-Start equals this only
+// when every loop starts together — under staggered arrivals it reports a
+// single loop's latency, not the run's length.
+func spanOf(results []sim.LoopResult) time.Duration {
+	minStart, maxEnd := results[0].Start, results[0].End
+	for _, r := range results[1:] {
+		if r.Start < minStart {
+			minStart = r.Start
+		}
+		if r.End > maxEnd {
+			maxEnd = r.End
+		}
+	}
+	return time.Duration(maxEnd - minStart)
+}
+
 func run(loops int, iters int64, threads int, schedText, policyName, weightsCSV string, spin int, virtual bool) error {
 	if loops <= 0 {
 		return fmt.Errorf("need at least one loop, got %d", loops)
@@ -108,7 +186,7 @@ func run(loops int, iters int64, threads int, schedText, policyName, weightsCSV 
 		return err
 	}
 	if virtual {
-		return runVirtual(loops, iters, threads, sched, policy, weights)
+		return runVirtual(loops, iters, threads, sched, policy, weights, spin)
 	}
 	return runReal(loops, iters, threads, sched, policy, weights, spin)
 }
@@ -123,20 +201,26 @@ func spinIter(units int) float64 {
 	return x
 }
 
-func report(label string, weights []int, latencies []time.Duration, totalIters int64, makespan time.Duration) {
-	fmt.Printf("%s: %d loops, makespan %v, aggregate %.2f Miters/s\n",
+func report(w io.Writer, label string, weights []int, latencies []time.Duration, totalIters int64, makespan time.Duration) {
+	fmt.Fprintf(w, "%s: %d loops, makespan %v, aggregate %.2f Miters/s\n",
 		label, len(latencies), makespan.Round(time.Microsecond),
 		float64(totalIters)/makespan.Seconds()/1e6)
-	fmt.Printf("%6s %7s %14s\n", "loop", "weight", "latency")
+	fmt.Fprintf(w, "%6s %7s %14s\n", "loop", "weight", "latency")
+	xs := make([]float64, len(latencies))
 	for i, lat := range latencies {
-		fmt.Printf("%6d %7d %14v\n", i, weights[i], lat.Round(time.Microsecond))
+		fmt.Fprintf(w, "%6d %7d %14v\n", i, weights[i], lat.Round(time.Microsecond))
+		xs[i] = float64(lat)
 	}
-	sorted := append([]time.Duration(nil), latencies...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	fmt.Printf("latency min/median/max: %v / %v / %v\n",
-		sorted[0].Round(time.Microsecond),
-		sorted[len(sorted)/2].Round(time.Microsecond),
-		sorted[len(sorted)-1].Round(time.Microsecond))
+	mn, _ := stats.Min(xs)
+	md, _ := stats.Median(xs)
+	p95, _ := stats.Percentile(xs, 95)
+	mx, _ := stats.Max(xs)
+	fmt.Fprintf(w, "latency min/median/p95/max: %v / %v / %v / %v\n",
+		durNs(mn), durNs(md), durNs(p95), durNs(mx))
+}
+
+func durNs(ns float64) time.Duration {
+	return time.Duration(ns).Round(time.Microsecond)
 }
 
 func runReal(loops int, iters int64, threads int, sched rt.Schedule, policy fair.Policy, weights []int, spin int) error {
@@ -174,11 +258,11 @@ func runReal(loops int, iters int64, threads int, sched rt.Schedule, policy fair
 	makespan := time.Since(start)
 	fmt.Printf("fleet %d workers, schedule %s, policy %s (wall clock)\n",
 		reg.NThreads(), sched, policy.Name())
-	report("real", weights, latencies, int64(loops)*iters, makespan)
+	report(os.Stdout, "real", weights, latencies, int64(loops)*iters, makespan)
 	return nil
 }
 
-func runVirtual(loops int, iters int64, threads int, sched rt.Schedule, policy fair.Policy, weights []int) error {
+func runVirtual(loops int, iters int64, threads int, sched rt.Schedule, policy fair.Policy, weights []int, spin int) error {
 	pl := amp.PlatformA()
 	if threads == 0 {
 		threads = pl.NumCores()
@@ -195,7 +279,7 @@ func runVirtual(loops int, iters int64, threads int, sched rt.Schedule, policy f
 			Name:    fmt.Sprintf("loop-%d", i),
 			NI:      iters,
 			Profile: amp.Profile{ILP: 0.5, MemIntensity: 0.2},
-			Cost:    sim.UniformCost{PerIter: 10_000},
+			Cost:    virtualCost(spin),
 			Weight:  weights[i],
 		}
 	}
@@ -204,15 +288,336 @@ func runVirtual(loops int, iters int64, threads int, sched rt.Schedule, policy f
 		return err
 	}
 	latencies := make([]time.Duration, loops)
-	var makespan time.Duration
 	for i, r := range results {
 		latencies[i] = time.Duration(r.End - r.Start)
-		if latencies[i] > makespan {
-			makespan = latencies[i]
-		}
 	}
 	fmt.Printf("fleet %d workers, schedule %s, policy %s (virtual time)\n",
 		threads, sched, policy.Name())
-	report("virtual", weights, latencies, int64(loops)*iters, makespan)
+	report(os.Stdout, "virtual", weights, latencies, int64(loops)*iters, spanOf(results))
 	return nil
+}
+
+// ---- open-loop service mode ----
+
+type serveOpts struct {
+	kind         string // arrival process name
+	rate         float64
+	duration     time.Duration
+	seed         uint64
+	classesCSV   string
+	maxPending   int
+	shed         bool
+	sampleEvery  int
+	sampleBudget int
+	sampleHead   int
+	recordPath   string
+	bench        bool
+
+	iters      int64
+	threads    int
+	schedText  string
+	policyName string
+	spin       int
+	virtual    bool
+}
+
+// classTally is one QoS class's latency account.
+type classTally struct {
+	class fair.Class
+	res   *stats.Reservoir
+}
+
+// serveSummary is one service run's outcome, separated from printing so
+// tests can assert on it directly.
+type serveSummary struct {
+	engine      string
+	arrivals    string
+	admitted    int64
+	shed        int64
+	maxInFlight int
+	elapsed     time.Duration
+	classes     []*classTally
+	overall     *stats.Reservoir
+	record      *trace.Record // sampled captures, when -sample is on
+}
+
+func newServeSummary(engine, arrivals string, classes []fair.Class, seed uint64) *serveSummary {
+	s := &serveSummary{
+		engine:   engine,
+		arrivals: arrivals,
+		overall:  stats.NewReservoir(0, seed),
+	}
+	for i, c := range classes {
+		s.classes = append(s.classes, &classTally{
+			class: c,
+			res:   stats.NewReservoir(0, seed+uint64(i)+1),
+		})
+	}
+	return s
+}
+
+func serve(o serveOpts, w io.Writer) error {
+	if o.iters < 0 {
+		return fmt.Errorf("negative iteration count %d", o.iters)
+	}
+	if o.maxPending <= 0 {
+		return fmt.Errorf("-max-pending must be positive, got %d", o.maxPending)
+	}
+	classes, err := fair.ParseClasses(o.classesCSV)
+	if err != nil {
+		return err
+	}
+	sched, err := rt.ParseSchedule(o.schedText)
+	if err != nil {
+		return err
+	}
+	policy, err := parsePolicy(o.policyName)
+	if err != nil {
+		return err
+	}
+	if o.recordPath != "" && (o.virtual || o.sampleEvery <= 0) {
+		return fmt.Errorf("-record needs real mode with -sample > 0")
+	}
+	var sum *serveSummary
+	if o.virtual {
+		sum, err = serveVirtual(o, classes, sched, policy)
+	} else {
+		sum, err = serveReal(o, classes, sched, policy)
+	}
+	if err != nil {
+		return err
+	}
+	writeServeSummary(w, sum)
+	if o.bench {
+		if err := writeServeBench(w, sum); err != nil {
+			return err
+		}
+	}
+	if o.recordPath != "" {
+		if err := writeServeRecord(o.recordPath, sum.record); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "record: %d sampled loops, %d events -> %s (self-diff clean)\n",
+			len(sum.record.Loops), len(sum.record.Events), o.recordPath)
+	}
+	return nil
+}
+
+// serveReal runs the open-loop service against the real-goroutine
+// registry: arrivals are generated over wall time independent of
+// completions, and a semaphore bounds the loops admitted but not yet
+// complete — the pending queue. A full queue either sheds the arrival or
+// blocks the submitter, per -shed.
+func serveReal(o serveOpts, classes []fair.Class, sched rt.Schedule, policy fair.Policy) (*serveSummary, error) {
+	proc, err := arrival.New(o.kind, o.rate, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := rt.NewRegistry(rt.RegistryConfig{NThreads: o.threads, Policy: policy})
+	if err != nil {
+		return nil, err
+	}
+	defer reg.Close()
+
+	sum := newServeSummary("real", proc.Name(), classes, o.seed)
+	sem := make(chan struct{}, o.maxPending)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex // guards the reservoirs
+		sink    atomic.Int64
+		sampled []*rt.Loop
+	)
+	body := func(_ int, lo, hi int64) {
+		var acc float64
+		for j := lo; j < hi; j++ {
+			acc += spinIter(o.spin)
+		}
+		sink.Add(int64(acc) + (hi - lo))
+	}
+
+	start := time.Now()
+	deadline := start.Add(o.duration)
+	for i := 0; ; i++ {
+		now := time.Now()
+		if !now.Before(deadline) {
+			break
+		}
+		gap := time.Duration(proc.Gap(int64(now.Sub(start))))
+		if now.Add(gap).After(deadline) {
+			break
+		}
+		time.Sleep(gap)
+
+		if o.shed {
+			select {
+			case sem <- struct{}{}:
+			default:
+				sum.shed++
+				continue
+			}
+		} else {
+			sem <- struct{}{}
+		}
+		if inflight := reg.InFlight(); inflight > sum.maxInFlight {
+			sum.maxInFlight = inflight
+		}
+		tally := sum.classes[int(sum.admitted)%len(classes)]
+		req := rt.LoopRequest{
+			Name:     fmt.Sprintf("%s-%d", tally.class.Name, i),
+			N:        o.iters,
+			Schedule: sched,
+			Weight:   tally.class.Weight,
+			Body:     body,
+		}
+		if o.sampleEvery > 0 && int(sum.admitted)%o.sampleEvery == 0 {
+			req.Capture = true
+			req.CaptureCompact = true
+			req.CaptureMaxEvents = o.sampleBudget
+			req.CaptureHead = o.sampleHead
+		}
+		h, err := reg.Submit(req)
+		if err != nil {
+			<-sem
+			return nil, err
+		}
+		sum.admitted++
+		if req.Capture {
+			sampled = append(sampled, h)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.Wait()
+			lat := float64(h.Latency())
+			mu.Lock()
+			sum.overall.Add(lat)
+			tally.res.Add(lat)
+			mu.Unlock()
+			<-sem
+		}()
+	}
+	wg.Wait()
+	sum.elapsed = time.Since(start)
+	if sum.admitted == 0 {
+		return nil, fmt.Errorf("no arrivals within %v at rate %g/s", o.duration, o.rate)
+	}
+	if len(sampled) > 0 {
+		rec, err := reg.BuildRecord(sampled...)
+		if err != nil {
+			return nil, err
+		}
+		sum.record = rec
+	}
+	return sum, nil
+}
+
+// serveVirtual replays the same arrival stream in the discrete-event
+// engine: arrival stamps become LoopSpec.Arrive and every arrival is
+// admitted (the simulator has no pending bound, so shed stays 0). The
+// numbers are exactly reproducible for a given seed.
+func serveVirtual(o serveOpts, classes []fair.Class, sched rt.Schedule, policy fair.Policy) (*serveSummary, error) {
+	proc, err := arrival.New(o.kind, o.rate, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	times := arrival.Times(proc, 0, int64(o.duration))
+	if len(times) == 0 {
+		return nil, fmt.Errorf("no arrivals within %v at rate %g/s", o.duration, o.rate)
+	}
+	pl := amp.PlatformA()
+	threads := o.threads
+	if threads == 0 {
+		threads = pl.NumCores()
+	}
+	cfg := sim.Config{
+		Platform: pl,
+		NThreads: threads,
+		Binding:  amp.BindBS,
+		Factory:  sched.Factory(),
+	}
+	specs := make([]sim.LoopSpec, len(times))
+	for i, t := range times {
+		class := classes[i%len(classes)]
+		specs[i] = sim.LoopSpec{
+			Name:    fmt.Sprintf("%s-%d", class.Name, i),
+			NI:      o.iters,
+			Profile: amp.Profile{ILP: 0.5, MemIntensity: 0.2},
+			Cost:    virtualCost(o.spin),
+			Weight:  class.Weight,
+			Arrive:  t,
+		}
+	}
+	results, err := sim.RunLoops(cfg, specs, policy, 0)
+	if err != nil {
+		return nil, err
+	}
+	sum := newServeSummary("virtual", proc.Name(), classes, o.seed)
+	for i, r := range results {
+		lat := float64(r.End - r.Start)
+		sum.overall.Add(lat)
+		sum.classes[i%len(classes)].res.Add(lat)
+	}
+	sum.admitted = int64(len(results))
+	sum.elapsed = spanOf(results)
+	return sum, nil
+}
+
+func writeServeSummary(w io.Writer, s *serveSummary) {
+	fmt.Fprintf(w, "%s serve: %s arrivals, %d admitted, %d shed, span %v\n",
+		s.engine, s.arrivals, s.admitted, s.shed, s.elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "%8s %7s %8s %12s %12s %12s\n", "class", "weight", "count", "p50", "p95", "p99")
+	for _, c := range s.classes {
+		if c.res.Count() == 0 {
+			fmt.Fprintf(w, "%8s %7d %8d %12s %12s %12s\n", c.class.Name, c.class.Weight, 0, "-", "-", "-")
+			continue
+		}
+		p50, _ := c.res.Percentile(50)
+		p95, _ := c.res.Percentile(95)
+		p99, _ := c.res.Percentile(99)
+		fmt.Fprintf(w, "%8s %7d %8d %12v %12v %12v\n",
+			c.class.Name, c.class.Weight, c.res.Count(), durNs(p50), durNs(p95), durNs(p99))
+	}
+	p50, _ := s.overall.Percentile(50)
+	p95, _ := s.overall.Percentile(95)
+	p99, _ := s.overall.Percentile(99)
+	fmt.Fprintf(w, "overall: p50/p95/p99 %v / %v / %v, throughput %.2f loops/s, max in-flight %d\n",
+		durNs(p50), durNs(p95), durNs(p99),
+		float64(s.admitted)/s.elapsed.Seconds(), s.maxInFlight)
+}
+
+// writeServeBench emits the run as one benchjson-compatible Benchmark
+// line, so cmd/benchjson can fold service runs into BENCH snapshots.
+func writeServeBench(w io.Writer, s *serveSummary) error {
+	p50, err := s.overall.Percentile(50)
+	if err != nil {
+		return err
+	}
+	p95, _ := s.overall.Percentile(95)
+	p99, _ := s.overall.Percentile(99)
+	fmt.Fprintf(w, "BenchmarkServe/engine=%s/arrivals=%s %d %.0f p50-ns %.0f p95-ns %.0f p99-ns %.2f loops/sec %d admitted %d shed\n",
+		s.engine, s.arrivals, s.admitted, p50, p95, p99,
+		float64(s.admitted)/s.elapsed.Seconds(), s.admitted, s.shed)
+	return nil
+}
+
+// writeServeRecord persists the sampled run record and checks it survives
+// a self-diff — a corrupt or internally inconsistent record fails loudly
+// at write time rather than at the replay that needed it.
+func writeServeRecord(path string, rec *trace.Record) error {
+	if rec == nil {
+		return fmt.Errorf("no sampled loops to record")
+	}
+	rep := replay.Diff(rec, rec, 1.0)
+	if rep.Regressions > 0 {
+		return fmt.Errorf("sampled record fails its self-diff:\n%s", rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.EncodeJSONL(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

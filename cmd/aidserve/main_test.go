@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fair"
+	"repro/internal/replay"
+	"repro/internal/rt"
+	"repro/internal/sim"
+)
+
+func TestParseWeightsCyclesShortList(t *testing.T) {
+	got, err := parseWeights("4,1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{4, 1, 4, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseWeights = %v, want %v", got, want)
+	}
+	got, err = parseWeights("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 1, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("default weights = %v, want %v", got, want)
+	}
+}
+
+func TestParseWeightsRejectsSurplus(t *testing.T) {
+	// More weights than loops used to be dropped silently; a typo'd
+	// -loops then ran with the wrong tenant shares.
+	if _, err := parseWeights("4,2,1", 2); err == nil {
+		t.Fatal("parseWeights accepted 3 weights for 2 loops")
+	}
+	if _, err := parseWeights("4,0", 4); err == nil {
+		t.Fatal("parseWeights accepted weight 0")
+	}
+	if _, err := parseWeights("4,x", 4); err == nil {
+		t.Fatal("parseWeights accepted a non-integer weight")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"wrr", "fcfs", "sf-aware"} {
+		p, err := parsePolicy(name)
+		if err != nil || p == nil {
+			t.Fatalf("parsePolicy(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := parsePolicy("lifo"); err == nil {
+		t.Fatal("parsePolicy accepted an unknown name")
+	}
+}
+
+func TestSpanOfStaggeredArrivals(t *testing.T) {
+	// Two staggered loops: the first runs [0, 10ms], the second
+	// [8ms, 12ms]. The run's makespan is 12ms; the old per-loop maximum
+	// of End-Start reported 10ms — the longest latency, not the span.
+	results := []sim.LoopResult{
+		{Start: 0, End: 10_000_000},
+		{Start: 8_000_000, End: 12_000_000},
+	}
+	if got, want := spanOf(results), 12*time.Millisecond; got != want {
+		t.Fatalf("spanOf = %v, want %v", got, want)
+	}
+	var maxLatency time.Duration
+	for _, r := range results {
+		if lat := time.Duration(r.End - r.Start); lat > maxLatency {
+			maxLatency = lat
+		}
+	}
+	if maxLatency == spanOf(results) {
+		t.Fatal("test fixture does not distinguish span from max latency")
+	}
+}
+
+func TestVirtualCostScalesWithSpin(t *testing.T) {
+	// -spin used to be ignored under -virtual (PerIter hard-coded to
+	// 10_000). The default spin must keep that cost; other values scale.
+	if got := virtualCost(200).PerIter; got != 10_000 {
+		t.Fatalf("virtualCost(200).PerIter = %v, want 10000", got)
+	}
+	if got := virtualCost(400).PerIter; got != 2*virtualCost(200).PerIter {
+		t.Fatalf("virtualCost(400).PerIter = %v, want double virtualCost(200)", got)
+	}
+}
+
+func TestReportMedianInterpolates(t *testing.T) {
+	// Even-length latency sets: the median is the central average, not
+	// the upper-middle element the old sorted[len/2] picked.
+	var b bytes.Buffer
+	lats := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond,
+		30 * time.Millisecond, 40 * time.Millisecond}
+	report(&b, "test", []int{1, 1, 1, 1}, lats, 4, 40*time.Millisecond)
+	out := b.String()
+	if !strings.Contains(out, "10ms / 25ms /") {
+		t.Fatalf("report median not interpolated:\n%s", out)
+	}
+	if strings.Contains(out, "/ 30ms /") {
+		t.Fatalf("report still picks the upper-middle median:\n%s", out)
+	}
+}
+
+func testServeOpts(virtual bool) serveOpts {
+	return serveOpts{
+		kind: "poisson", rate: 400, duration: 250 * time.Millisecond, seed: 7,
+		classesCSV: "gold:8,bronze:1", maxPending: 32, shed: true,
+		iters: 2000, threads: 4, schedText: "aid-dynamic,1,5",
+		policyName: "wrr", spin: 20, virtual: virtual,
+	}
+}
+
+func TestServeVirtualDeterministic(t *testing.T) {
+	o := testServeOpts(true)
+	classes, err := fair.ParseClasses(o.classesCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := rt.ParseSchedule(o.schedText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *serveSummary {
+		policy, err := parsePolicy(o.policyName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := serveVirtual(o, classes, sched, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	if a.admitted == 0 {
+		t.Fatal("no arrivals admitted")
+	}
+	if a.admitted != b.admitted || a.elapsed != b.elapsed {
+		t.Fatalf("virtual serve not deterministic: %d/%v vs %d/%v",
+			a.admitted, a.elapsed, b.admitted, b.elapsed)
+	}
+	pa, _ := a.overall.Percentile(50)
+	pb, _ := b.overall.Percentile(50)
+	if pa != pb {
+		t.Fatalf("virtual serve p50 not deterministic: %v vs %v", pa, pb)
+	}
+	if a.shed != 0 {
+		t.Fatalf("virtual serve shed %d loops; the simulator admits everything", a.shed)
+	}
+}
+
+func TestServeRealSampledRecord(t *testing.T) {
+	o := testServeOpts(false)
+	o.sampleEvery = 4
+	o.sampleBudget = 32
+	classes, err := fair.ParseClasses(o.classesCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := rt.ParseSchedule(o.schedText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := parsePolicy(o.policyName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := serveReal(o, classes, sched, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.admitted == 0 {
+		t.Fatal("no arrivals admitted")
+	}
+	if sum.overall.Count() != sum.admitted {
+		t.Fatalf("latency count %d != admitted %d", sum.overall.Count(), sum.admitted)
+	}
+	if sum.record == nil {
+		t.Fatal("sampling enabled but no record built")
+	}
+	// The per-loop event budget must hold in what the record stores.
+	perLoop := make(map[int]int)
+	for _, ev := range sum.record.Events {
+		perLoop[ev.Loop]++
+	}
+	if len(perLoop) != len(sum.record.Loops) {
+		t.Fatalf("record has %d loops but events for %d", len(sum.record.Loops), len(perLoop))
+	}
+	for li, n := range perLoop {
+		if n > o.sampleBudget {
+			t.Fatalf("loop %d stored %d events, budget %d", li, n, o.sampleBudget)
+		}
+	}
+	// A sampled, compacted, budget-trimmed record is still internally
+	// consistent: its self-diff is clean.
+	if rep := replay.Diff(sum.record, sum.record, 1.0); rep.Regressions > 0 {
+		t.Fatalf("sampled record fails self-diff:\n%s", rep)
+	}
+}
+
+func TestWriteServeBenchFormat(t *testing.T) {
+	o := testServeOpts(true)
+	classes, _ := fair.ParseClasses(o.classesCSV)
+	sched, _ := rt.ParseSchedule(o.schedText)
+	policy, _ := parsePolicy(o.policyName)
+	sum, err := serveVirtual(o, classes, sched, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := writeServeBench(&b, sum); err != nil {
+		t.Fatal(err)
+	}
+	// The line must satisfy cmd/benchjson's grammar: Benchmark prefix,
+	// integer run count, then value/unit pairs.
+	fields := strings.Fields(strings.TrimSpace(b.String()))
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		t.Fatalf("bench line has %d fields: %q", len(fields), b.String())
+	}
+	if !strings.HasPrefix(fields[0], "Benchmark") {
+		t.Fatalf("bench line name %q", fields[0])
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		t.Fatalf("bench line run count %q: %v", fields[1], err)
+	}
+	for i := 2; i < len(fields); i += 2 {
+		if _, err := strconv.ParseFloat(fields[i], 64); err != nil {
+			t.Fatalf("bench value %q: %v", fields[i], err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package fair
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseClasses(t *testing.T) {
+	got, err := ParseClasses("gold:8, silver:4 ,bronze:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Class{{"gold", 8}, {"silver", 4}, {"bronze", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseClasses = %+v, want %+v", got, want)
+	}
+	// A bare name defaults to weight 1.
+	got, err = ParseClasses("std")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []Class{{"std", 1}}) {
+		t.Fatalf("bare class = %+v", got)
+	}
+}
+
+func TestParseClassesErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"  ",
+		"gold:0",
+		"gold:-2",
+		"gold:x",
+		"gold:8,gold:4", // duplicate name
+		":3",            // no name
+		"gold:8,,bronze:1",
+	} {
+		if _, err := ParseClasses(s); err == nil {
+			t.Errorf("ParseClasses(%q) accepted an invalid list", s)
+		}
+	}
+}

@@ -180,6 +180,99 @@ func TestRegistryBuildRecordMultiLoop(t *testing.T) {
 	}
 }
 
+// TestCaptureBudgetBounded pins the sampling recorder's contract: a
+// captured loop submitted with an event budget never publishes more than
+// CaptureMaxEvents events, head and tail are retained, and compaction
+// preserves the iteration total while (with a fine chunk) reducing the
+// event count.
+func TestCaptureBudgetBounded(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{NThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	const n, budget = 50000, 64
+	l, err := reg.Submit(LoopRequest{
+		Name: "budgeted", N: n, Capture: true, CaptureCompact: true,
+		CaptureMaxEvents: budget,
+		Schedule:         Schedule{Kind: KindDynamic, Chunk: 8},
+		Body:             func(_ int, _, _ int64) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l.Wait()
+	if len(st.Events) > budget {
+		t.Fatalf("budgeted capture published %d events, budget %d", len(st.Events), budget)
+	}
+	if len(st.Events) == 0 {
+		t.Fatal("budgeted capture published no events")
+	}
+	// Head retention: the stream still starts in the loop's opening region
+	// (dynamic grants ranges in claim order, so early events carry low Lo);
+	// tail retention: it still ends in the barrier-convergence region (a
+	// retirement or a grant from the top of the range).
+	if first := st.Events[0]; first.Lo >= n/2 {
+		t.Errorf("head not retained: first event %+v", first)
+	}
+	last := st.Events[len(st.Events)-1]
+	if !last.Retire && last.Hi <= n/2 {
+		t.Errorf("tail not retained: last event %+v", last)
+	}
+	// Iteration totals from the per-worker cells are exact regardless of
+	// what the budget dropped.
+	var total int64
+	for _, it := range st.Iters {
+		total += it
+	}
+	if total != n {
+		t.Fatalf("executed %d iterations, want %d", total, n)
+	}
+}
+
+// TestCaptureCompactionPreservesCoverage: with compaction but no budget the
+// merged grant stream must still tile [0, n) exactly once — merges only
+// coarsen contiguous runs, they never lose or duplicate iterations.
+func TestCaptureCompactionPreservesCoverage(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{NThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	const n = 20000
+	l, err := reg.Submit(LoopRequest{
+		Name: "compacted", N: n, Capture: true, CaptureCompact: true,
+		Schedule: Schedule{Kind: KindStatic, Chunk: 4},
+		Body:     func(_ int, _, _ int64) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l.Wait()
+	retires := coverageFromEvents(t, st.Events, n)
+	if retires != 4 {
+		t.Errorf("%d retire events, want one per worker", retires)
+	}
+	// static,4 hands each worker a long run of contiguous chunks;
+	// compaction must collapse them well below one event per chunk.
+	if max := n/4 + 8; len(st.Events) >= max {
+		t.Errorf("compaction kept %d events for %d chunk grants", len(st.Events), n/4)
+	}
+}
+
+// TestSubmitRejectsNegativeCaptureBudget covers the validation path.
+func TestSubmitRejectsNegativeCaptureBudget(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{NThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if _, err := reg.Submit(LoopRequest{N: 10, CaptureMaxEvents: -1,
+		Body: func(_ int, _, _ int64) {}}); err == nil {
+		t.Error("Submit accepted a negative capture budget")
+	}
+}
+
 // TestBuildRecordRejectsUncaptured: a loop without capture cannot be
 // assembled into a record.
 func TestBuildRecordRejectsUncaptured(t *testing.T) {

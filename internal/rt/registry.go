@@ -175,6 +175,16 @@ func (r *Registry) Slowdown(tid int) float64 { return r.slowdown[tid] }
 // Policy returns the registry's fairness policy.
 func (r *Registry) Policy() fair.Policy { return r.policy }
 
+// InFlight returns the number of admitted loops whose barriers have not
+// released yet — the service tier's saturation signal for admission
+// control. It is a snapshot: by the time the caller acts, loops may have
+// arrived or drained.
+func (r *Registry) InFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.run)
+}
+
 // now returns monotonic nanoseconds since fleet creation (the timestamp
 // source fed to the schedulers' sampling machinery).
 func (r *Registry) now() int64 { return int64(time.Since(r.base)) }
@@ -210,6 +220,22 @@ type LoopRequest struct {
 	// the result lands in LoopStats.Trace/Events/Phases and feeds
 	// Registry.BuildRecord.
 	Capture bool
+	// CaptureCompact, with Capture, merges adjacent contiguous grants to
+	// the same worker at tape-merge time (trace.CompactEvents) — the
+	// always-on sampling recorder's first reduction. Totals (iterations,
+	// pool accesses, execution time) are preserved; only grant granularity
+	// is coarsened.
+	CaptureCompact bool
+	// CaptureMaxEvents, with Capture, bounds the loop's merged event
+	// stream: when the (possibly compacted) stream exceeds it, the first
+	// CaptureHead events and the last CaptureMaxEvents-CaptureHead events
+	// are retained and the middle is dropped (trace.TrimToBudget). 0 means
+	// unbounded. The budget is applied after compaction, so it bounds what
+	// a record actually stores.
+	CaptureMaxEvents int
+	// CaptureHead is the head-retention share of CaptureMaxEvents; 0
+	// selects half the budget.
+	CaptureHead int
 }
 
 // Loop is the handle of one admitted submission. Wait (or Done) observes
@@ -244,6 +270,11 @@ type Loop struct {
 	// a private tape appended only by worker tid (published like cells).
 	capture []paddedTape
 	startNs int64
+	// captureCompact/captureMax/captureHead are the sampled-capture
+	// reductions applied when the tapes merge (see LoopRequest).
+	captureCompact bool
+	captureMax     int
+	captureHead    int
 
 	submitted time.Time
 	latency   time.Duration
@@ -338,9 +369,18 @@ func (r *Registry) Submit(req LoopRequest) (*Loop, error) {
 	if v, ok := sched.(core.SFLiveViewer); ok {
 		l.sfView = v
 	}
+	if req.CaptureMaxEvents < 0 {
+		return nil, fmt.Errorf("rt: negative capture event budget %d", req.CaptureMaxEvents)
+	}
 	if req.Capture {
 		l.capture = make([]paddedTape, r.nthreads)
 		l.startNs = r.now()
+		l.captureCompact = req.CaptureCompact
+		l.captureMax = req.CaptureMaxEvents
+		l.captureHead = req.CaptureHead
+		if l.captureMax > 0 && l.captureHead <= 0 {
+			l.captureHead = l.captureMax / 2
+		}
 		// Pre-size the tapes from the schedule's chunk geometry so the
 		// capturing hot path appends into reserved space instead of
 		// growing its buffers mid-run.
@@ -739,6 +779,14 @@ func (l *Loop) mergeCapture(nthreads int) {
 	// events whose wall-clock stamps collide; the Recorder assigns the
 	// global sequence when a record is built.
 	sortEvents(evs)
+	// The sampled-capture reductions run here, after the merge sort and
+	// before publication: compaction needs the engines' event order, and
+	// the budget must bound what the loop's stats (and any record built
+	// from them) actually retain.
+	if l.captureCompact {
+		evs = trace.CompactEvents(evs)
+	}
+	evs = trace.TrimToBudget(evs, l.captureMax, l.captureHead)
 	sort.Sort(phaseEventOrder(phs))
 	l.stats.StartNs = l.startNs
 	l.stats.EndNs = maxFinish

@@ -10,13 +10,19 @@ import (
 
 // RunLoops simulates the concurrent execution of several parallel loops on
 // one worker fleet in virtual time — the discrete-event model of the
-// multi-loop registry (internal/rt). All loops are admitted at startNs;
-// each gets its own scheduler instance (and so its own sharded iteration
-// pool) and its own barrier, while the fleet's workers are handed between
-// runnable loops by the fairness policy (nil selects weighted round-robin).
-// Because the same fair.Policy implementations drive both engines,
-// fairness behaviour sanity-checked here deterministically carries over to
-// the real-goroutine executor.
+// multi-loop registry (internal/rt). Each loop is admitted at its
+// LoopSpec.Arrive stamp (clamped up to startNs; the zero value admits at
+// start, the closed-loop case), so an open-loop arrival stream maps
+// directly onto specs. Each loop gets its own scheduler instance (and so
+// its own sharded iteration pool) and its own barrier, while the fleet's
+// workers are handed between runnable loops by the fairness policy (nil
+// selects weighted round-robin). A worker with no runnable loop idles
+// forward to the next arrival, and — mirroring the registry's admission
+// generation — an arrival mid-burst sends the worker back to the policy,
+// so a newly admitted loop is noticed immediately. Because the same
+// fair.Policy implementations drive both engines, fairness behaviour
+// sanity-checked here deterministically carries over to the real-goroutine
+// executor.
 //
 // The fleet is persistent, matching the registry: no per-loop fork/join
 // cost is charged, worker clocks start at startNs, and a loop's End is the
@@ -61,6 +67,7 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 	nretired := make([]int, nl)
 	results := make([]LoopResult, nl)
 	weights := make([]int, nl)
+	arrive := make([]int64, nl)
 
 	coreOf := make([]int, nt)
 	typeOf := make([]int, nt)
@@ -110,28 +117,35 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 		if weights[li] == 0 {
 			weights[li] = 1
 		}
+		arrive[li] = spec.Arrive
+		if arrive[li] < startNs {
+			arrive[li] = startNs
+		}
 		results[li] = LoopResult{
-			Start:         startNs,
+			Start:         arrive[li],
 			Iters:         make([]int64, nt),
 			Finish:        make([]int64, nt),
 			SchedulerName: s.Name(),
 		}
 		if est, isEst := s.(core.SFEstimator); isEst {
-			// Offline-SF variants publish at construction with no event.
+			// Offline-SF variants publish at construction with no event;
+			// the table is live from the moment the loop exists.
 			if sf, ready := est.SFEstimate(); ready {
 				liveSF[li] = sf
 				results[li].SFTrajectory = append(results[li].SFTrajectory,
-					SFPoint{TimeNs: startNs, SF: sf})
+					SFPoint{TimeNs: arrive[li], SF: sf})
 			}
 		}
 	}
 
-	// Worker state: virtual clock, the loop currently served and the burst
-	// remaining in the policy's grant. A worker is live while some loop has
-	// not retired it.
+	// Worker state: virtual clock, the loop currently served, the burst
+	// remaining in the policy's grant, and the arrived-loop count the grant
+	// was made under (the virtual analog of the registry's admission
+	// generation). A worker is live while some loop has not retired it.
 	clock := make([]int64, nt)
 	curLoop := make([]int, nt)
 	burstLeft := make([]int, nt)
+	grantArrived := make([]int, nt)
 	pending := make([]int, nt) // unretired loop count per worker
 	for tid := 0; tid < nt; tid++ {
 		clock[tid] = startNs
@@ -153,17 +167,43 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 		}
 		now := clock[tid]
 
-		// Re-enter the policy when the granted burst is exhausted or the
-		// served loop has retired this worker.
+		// A worker only sees loops that have arrived by its own clock.
+		arrived := 0
+		for i := 0; i < nl; i++ {
+			if arrive[i] <= now {
+				arrived++
+			}
+		}
+
+		// Re-enter the policy when the granted burst is exhausted, the
+		// served loop has retired this worker, or a loop arrived since the
+		// grant (the registry's generation check: an unbounded single-
+		// tenant burst must yield the moment a second tenant shows up).
 		li := curLoop[tid]
-		if li < 0 || burstLeft[tid] <= 0 || retired[li][tid] {
+		if li < 0 || burstLeft[tid] <= 0 || retired[li][tid] || arrived != grantArrived[tid] {
 			cands, candLoop = cands[:0], candLoop[:0]
 			for i := 0; i < nl; i++ {
-				if !retired[i][tid] {
+				if !retired[i][tid] && arrive[i] <= now {
 					cands = append(cands, fair.Candidate{ID: uint64(i), Weight: weights[i],
 						CoreType: typeOf[tid], SF: liveSF[i]})
 					candLoop = append(candLoop, i)
 				}
+			}
+			if len(cands) == 0 {
+				// Nothing runnable yet: idle forward to the next arrival
+				// this worker still owes a retirement to. One must exist —
+				// pending[tid] > 0 and every arrived loop would have been a
+				// candidate.
+				next := int64(-1)
+				for i := 0; i < nl; i++ {
+					if !retired[i][tid] && arrive[i] > now && (next == -1 || arrive[i] < next) {
+						next = arrive[i]
+					}
+				}
+				clock[tid] = next
+				curLoop[tid] = -1
+				burstLeft[tid] = 0
+				continue
 			}
 			idx, burst := policy.Pick(tid, cands)
 			if idx < 0 || idx >= len(cands) {
@@ -175,6 +215,7 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 			li = candLoop[idx]
 			curLoop[tid] = li
 			burstLeft[tid] = burst
+			grantArrived[tid] = arrived
 		}
 		burstLeft[tid]--
 

@@ -217,3 +217,124 @@ func TestMultiLoopErrors(t *testing.T) {
 		t.Error("LoopSpec.Validate accepted negative weight")
 	}
 }
+
+// TestMultiLoopStaggeredArrivals is the open-loop extension's core
+// contract: a loop admitted mid-run starts at its arrival stamp, never
+// executes before it, still gets exact coverage, and its Start reflects the
+// arrival (so End-Start is queueing-inclusive service latency, and the
+// fleet span max(End)-min(Start) exceeds every individual latency when
+// starts stagger).
+func TestMultiLoopStaggeredArrivals(t *testing.T) {
+	cfg := multiCfg(8)
+	early := uniformSpec("early", 40_000, 1)
+	late := uniformSpec("late", 40_000, 1)
+	// Late arrives roughly mid-way through early's solo run.
+	soloRes, err := RunLoops(cfg, []LoopSpec{early}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late.Arrive = soloRes[0].End / 2
+	results, err := RunLoops(cfg, []LoopSpec{early, late}, fair.NewWeightedRoundRobin(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, spec := range []LoopSpec{early, late} {
+		if got := sumIters(results[li]); got != spec.NI {
+			t.Fatalf("loop %q covered %d of %d", spec.Name, got, spec.NI)
+		}
+	}
+	if results[0].Start != 0 {
+		t.Errorf("early loop Start = %d, want 0", results[0].Start)
+	}
+	if results[1].Start != late.Arrive {
+		t.Errorf("late loop Start = %d, want its arrival %d", results[1].Start, late.Arrive)
+	}
+	if results[1].End <= late.Arrive {
+		t.Errorf("late loop End %d not after its arrival %d", results[1].End, late.Arrive)
+	}
+	// No worker may touch the late loop before it arrives: its earliest
+	// per-thread Finish (and hence every grant) is after Arrive, and the
+	// early loop must have made progress alone — its End under staggered
+	// competition lands before the late loop's.
+	for tid, f := range results[1].Finish {
+		if f < late.Arrive {
+			t.Errorf("thread %d finished late loop at %d, before its arrival %d", tid, f, late.Arrive)
+		}
+	}
+	if results[0].End >= results[1].End {
+		t.Errorf("early loop End %d should precede late loop End %d", results[0].End, results[1].End)
+	}
+	// Fleet span vs per-loop latency: the span max(End)-min(Start) must
+	// strictly exceed the larger individual latency — the quantity the
+	// aidserve makespan bug conflated.
+	span := results[1].End - 0
+	lat0 := results[0].End - results[0].Start
+	lat1 := results[1].End - results[1].Start
+	if span <= lat0 || span <= lat1 {
+		t.Errorf("fleet span %d not beyond per-loop latencies %d/%d", span, lat0, lat1)
+	}
+}
+
+// TestMultiLoopArrivalAfterQuietFleet: a loop arriving after every earlier
+// loop has drained must still run (workers idle forward to the arrival
+// instead of exiting), and virtual time jumps — no busy-wait is modeled.
+func TestMultiLoopArrivalAfterQuietFleet(t *testing.T) {
+	cfg := multiCfg(8)
+	first := uniformSpec("first", 5_000, 1)
+	second := uniformSpec("second", 5_000, 1)
+	second.Arrive = int64(1e12) // far beyond first's drain
+	results, err := RunLoops(cfg, []LoopSpec{first, second}, fair.NewWeightedRoundRobin(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sumIters(results[1]); got != second.NI {
+		t.Fatalf("post-idle loop covered %d of %d", got, second.NI)
+	}
+	if results[0].End >= second.Arrive {
+		t.Fatalf("first loop End %d overlaps the far arrival %d", results[0].End, second.Arrive)
+	}
+	if results[1].Start != second.Arrive || results[1].End <= second.Arrive {
+		t.Fatalf("idle-forward admission broken: Start %d End %d, arrival %d",
+			results[1].Start, results[1].End, second.Arrive)
+	}
+	// The second loop ran on an otherwise idle fleet: its service time must
+	// match a solo run of the same spec admitted at the same stamp.
+	solo := second
+	soloRes, err := RunLoops(cfg, []LoopSpec{solo}, nil, second.Arrive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLat, soloLat := results[1].End-results[1].Start, soloRes[0].End-soloRes[0].Start; gotLat != soloLat {
+		t.Errorf("post-idle latency %d differs from solo latency %d", gotLat, soloLat)
+	}
+}
+
+// TestMultiLoopArrivalBreaksBurst mirrors the registry's admission
+// generation: a single-tenant fleet serves under one unbounded burst, and
+// the tests pins that a mid-run arrival still gets served promptly (the
+// worker re-enters the policy rather than draining the first loop to
+// completion, which is what FCFS — and a missing generation check — would
+// do).
+func TestMultiLoopArrivalBreaksBurst(t *testing.T) {
+	cfg := multiCfg(8)
+	big := uniformSpec("big", 80_000, 1)
+	small := uniformSpec("small", 2_000, 1)
+	small.Arrive = 1_000_000 // early in big's run
+	wrr, err := RunLoops(cfg, []LoopSpec{big, small}, fair.NewWeightedRoundRobin(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs, err := RunLoops(cfg, []LoopSpec{big, small}, fair.NewFCFS(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under WRR the small tenant must finish well before the big one; under
+	// FCFS it is blocked behind it. If arrivals failed to break the burst,
+	// WRR would degrade to the FCFS ordering.
+	if wrr[1].End >= wrr[0].End {
+		t.Errorf("WRR: small arrival End %d not before big End %d (burst never broke)", wrr[1].End, wrr[0].End)
+	}
+	if fcfs[1].End <= fcfs[0].End {
+		t.Errorf("FCFS baseline lost head-of-line ordering: small End %d, big End %d", fcfs[1].End, fcfs[0].End)
+	}
+}

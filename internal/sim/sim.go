@@ -99,6 +99,13 @@ type LoopSpec struct {
 	// concurrently on one fleet (RunLoops); 0 selects the default weight 1.
 	// Single-loop execution (RunLoop) ignores it.
 	Weight int
+	// Arrive is the loop's admission time on the virtual clock under
+	// multi-loop execution (RunLoops) — the open-loop arrival stamp. The
+	// loop is invisible to the fairness policy before Arrive, and its
+	// latency is End-Arrive. Values at or below the run's startNs
+	// (including the zero value) mean "admitted at start", which keeps the
+	// closed-loop callers unchanged. Single-loop execution ignores it.
+	Arrive int64
 }
 
 // Validate checks the loop description.

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"repro/internal/xrand"
+)
+
+// Reservoir is a fixed-capacity uniform sample over an unbounded stream of
+// observations — the latency store of the open-loop service tier. A server
+// that runs for hours cannot keep every request latency just to answer
+// "what was the p99": the reservoir keeps a capacity-bounded uniform sample
+// (Vitter's algorithm R) plus exact running count/sum/min/max, so memory
+// stays O(capacity) while percentile queries stay statistically sound over
+// the whole stream.
+//
+// Randomness comes from the repository's deterministic PRNG: a seeded
+// reservoir fed the same stream reports the same percentiles, which keeps
+// the virtual-time serve runs byte-reproducible. Not safe for concurrent
+// use; callers serialize Add (the server does so under its completion
+// lock).
+type Reservoir struct {
+	sample []float64
+	seen   int64 // observations offered
+	sum    float64
+	min    float64
+	max    float64
+	rng    *xrand.Rand
+}
+
+// NewReservoir returns an empty reservoir holding at most capacity samples
+// (capacity <= 0 selects 1024, plenty for p99 at smoke-run scale).
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Reservoir{sample: make([]float64, 0, capacity), rng: xrand.New(seed)}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	r.sum += x
+	if r.seen == 1 || x < r.min {
+		r.min = x
+	}
+	if r.seen == 1 || x > r.max {
+		r.max = x
+	}
+	if len(r.sample) < cap(r.sample) {
+		r.sample = append(r.sample, x)
+		return
+	}
+	// Algorithm R: the i-th observation replaces a random slot with
+	// probability capacity/i, keeping every prefix uniformly represented.
+	if j := int64(r.rng.Uint64() % uint64(r.seen)); j < int64(cap(r.sample)) {
+		r.sample[j] = x
+	}
+}
+
+// Count returns how many observations were offered (not how many are held).
+func (r *Reservoir) Count() int64 { return r.seen }
+
+// Sum returns the exact sum of every offered observation.
+func (r *Reservoir) Sum() float64 { return r.sum }
+
+// Mean returns the exact mean of every offered observation (0 when empty).
+func (r *Reservoir) Mean() float64 {
+	if r.seen == 0 {
+		return 0
+	}
+	return r.sum / float64(r.seen)
+}
+
+// Min and Max return the exact stream extremes; both error on an empty
+// reservoir.
+func (r *Reservoir) Min() (float64, error) {
+	if r.seen == 0 {
+		return 0, ErrEmpty
+	}
+	return r.min, nil
+}
+
+// Max returns the exact stream maximum.
+func (r *Reservoir) Max() (float64, error) {
+	if r.seen == 0 {
+		return 0, ErrEmpty
+	}
+	return r.max, nil
+}
+
+// Percentile estimates the p-th percentile (0 <= p <= 100) from the held
+// sample, with the same interpolation as the package-level Percentile.
+// While the stream fits the capacity the estimate is exact; past that it
+// carries the sampling error of a capacity-sized uniform sample.
+func (r *Reservoir) Percentile(p float64) (float64, error) {
+	return Percentile(r.sample, p)
+}
+
+// Sampled returns how many observations the reservoir currently holds.
+func (r *Reservoir) Sampled() int { return len(r.sample) }

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{40, 10, 20, 30} // deliberately unsorted
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10},
+		{25, 17.5},
+		{50, 25}, // even length: average of the two central elements
+		{75, 32.5},
+		{100, 40},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if xs[0] != 40 {
+		t.Error("Percentile modified its input")
+	}
+	if got, _ := Percentile([]float64{3, 1, 2}, 50); got != 2 {
+		t.Errorf("odd-length p50 = %v, want 2", got)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("empty slice: err = %v, want ErrEmpty", err)
+	}
+	for _, p := range []float64{-1, 101, math.NaN()} {
+		if _, err := Percentile([]float64{1}, p); err == nil {
+			t.Errorf("Percentile(_, %v) accepted an out-of-range p", p)
+		}
+	}
+}
+
+// TestMedianIsPercentile50 pins the consistency the aidserve report bug
+// violated: a hand-rolled sorted[len/2] median disagrees with Median for
+// even lengths; Median and Percentile(50) must always agree.
+func TestMedianIsPercentile50(t *testing.T) {
+	cases := [][]float64{
+		{5},
+		{1, 2},
+		{3, 1, 2},
+		{4, 1, 3, 2},
+		{10, 20, 30, 40, 50, 60},
+	}
+	for _, xs := range cases {
+		m, err1 := Median(xs)
+		p, err2 := Percentile(xs, 50)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Median/Percentile errored: %v %v", err1, err2)
+		}
+		if m != p {
+			t.Errorf("Median(%v) = %v but Percentile(50) = %v", xs, m, p)
+		}
+	}
+	// The even-length case the off-by-one median got wrong: upper-mid 30
+	// instead of 25.
+	if m, _ := Median([]float64{10, 20, 30, 40}); m != 25 {
+		t.Errorf("Median of {10,20,30,40} = %v, want 25", m)
+	}
+}
+
+func TestReservoirExactWhileUnderCapacity(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 1; i <= 10; i++ {
+		r.Add(float64(i) * 10)
+	}
+	if r.Count() != 10 || r.Sampled() != 10 {
+		t.Fatalf("count/sampled = %d/%d, want 10/10", r.Count(), r.Sampled())
+	}
+	if r.Sum() != 550 || r.Mean() != 55 {
+		t.Errorf("sum/mean = %v/%v, want 550/55", r.Sum(), r.Mean())
+	}
+	mn, _ := r.Min()
+	mx, _ := r.Max()
+	if mn != 10 || mx != 100 {
+		t.Errorf("min/max = %v/%v, want 10/100", mn, mx)
+	}
+	p50, err := r.Percentile(50)
+	if err != nil || p50 != 55 {
+		t.Errorf("p50 = %v (err %v), want 55", p50, err)
+	}
+}
+
+func TestReservoirBoundedAndUniform(t *testing.T) {
+	const capN, streamN = 64, 100000
+	r := NewReservoir(capN, 7)
+	for i := 0; i < streamN; i++ {
+		r.Add(float64(i))
+	}
+	if r.Sampled() != capN {
+		t.Fatalf("sampled = %d, want capacity %d", r.Sampled(), capN)
+	}
+	if r.Count() != streamN {
+		t.Fatalf("count = %d, want %d", r.Count(), streamN)
+	}
+	// Exact stream stats survive sampling.
+	mn, _ := r.Min()
+	mx, _ := r.Max()
+	if mn != 0 || mx != streamN-1 {
+		t.Errorf("min/max = %v/%v, want 0/%d", mn, mx, streamN-1)
+	}
+	// Over a uniform 0..N ramp the sampled median must land near N/2; a
+	// 25% band is ~4 sigma for a 64-sample uniform reservoir.
+	p50, err := r.Percentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 < 0.25*streamN || p50 > 0.75*streamN {
+		t.Errorf("sampled p50 = %v far from %v", p50, streamN/2)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	run := func(seed uint64) float64 {
+		r := NewReservoir(32, seed)
+		for i := 0; i < 5000; i++ {
+			r.Add(float64(i % 977))
+		}
+		p, err := r.Percentile(99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if a, b := run(3), run(3); a != b {
+		t.Errorf("same seed, different p99: %v vs %v", a, b)
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := NewReservoir(0, 0)
+	if _, err := r.Min(); err != ErrEmpty {
+		t.Errorf("Min on empty: %v, want ErrEmpty", err)
+	}
+	if _, err := r.Max(); err != ErrEmpty {
+		t.Errorf("Max on empty: %v, want ErrEmpty", err)
+	}
+	if _, err := r.Percentile(50); err != ErrEmpty {
+		t.Errorf("Percentile on empty: %v, want ErrEmpty", err)
+	}
+	if r.Mean() != 0 {
+		t.Errorf("Mean on empty = %v, want 0", r.Mean())
+	}
+}

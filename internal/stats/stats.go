@@ -6,6 +6,7 @@ package stats
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -68,18 +69,40 @@ func Max(xs []float64) (float64, error) {
 }
 
 // Median returns the median of xs (average of the two central elements for
-// even lengths) and an error if xs is empty. xs is not modified.
+// even lengths) and an error if xs is empty. xs is not modified. It is
+// exactly Percentile(xs, 50) — kept as its own entry point because the
+// experiment harness reads better asking for "the median".
 func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p-th percentile of xs (0 <= p <= 100) using linear
+// interpolation between closest ranks: rank = (n-1)·p/100, with fractional
+// ranks interpolating the two neighbouring order statistics. Percentile(xs,
+// 0) is the minimum, Percentile(xs, 100) the maximum, and Percentile(xs,
+// 50) the Median (averaging the two central elements for even lengths). It
+// errors on an empty slice or a p outside [0, 100]. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
+	if p < 0 || p > 100 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: percentile %v outside [0, 100]", p)
+	}
 	cp := append([]float64(nil), xs...)
 	sort.Float64s(cp)
-	n := len(cp)
-	if n%2 == 1 {
-		return cp[n/2], nil
+	return percentileSorted(cp, p), nil
+}
+
+// percentileSorted is Percentile over an already-sorted, non-empty slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	rank := float64(len(sorted)-1) * p / 100
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if frac == 0 || lo+1 >= len(sorted) {
+		return sorted[lo]
 	}
-	return (cp[n/2-1] + cp[n/2]) / 2, nil
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // Normalize returns xs[i]/baseline for every element. A zero baseline yields
