@@ -17,11 +17,16 @@
 #                  AllocsPerRun assertions and unsafe.Offsetof layout tests
 #                  over the pool/core/rt hot paths (run without -race; the
 #                  race run covers the same tests with the gates skipped)
+#   make zoo-check - the platform-zoo gates: JSON codec round-trip and
+#                  Validate rejections in internal/amp, the exactly-once
+#                  conformance harness over every named platform, and the
+#                  sim-vs-rt cross-engine equivalence on the new presets
 #   make bench   - the full benchmark harness (figures + micro-benchmarks)
 #   make bench-short - benchmarks compiled and run once per case (smoke);
 #                  regenerates BENCH_multiloop.json from the registry
-#                  throughput rows and BENCH_hotpath.json (with -benchmem
-#                  allocation columns) from the claim hot-path rows via
+#                  throughput rows, BENCH_hotpath.json (with -benchmem
+#                  allocation columns) from the claim hot-path rows, and
+#                  BENCH_zoo.json (per-platform makespan + energy rows) via
 #                  cmd/benchjson. Artifacts are written temp-then-rename, so
 #                  a failed run never leaves a stale capture or a truncated
 #                  JSON behind; a pre-existing BENCH_hotpath.json doubles as
@@ -40,9 +45,9 @@ REPLAYTMP := .replaytmp
 BENCHTMP := .benchtmp
 SERVETMP := .servetmp
 
-.PHONY: ci vet build test race race-multiloop replay-determinism alloc-check bench bench-short serve-smoke bench-check
+.PHONY: ci vet build test race race-multiloop replay-determinism alloc-check zoo-check bench bench-short serve-smoke bench-check
 
-ci: vet build race race-multiloop replay-determinism alloc-check bench-short serve-smoke bench-check
+ci: vet build race race-multiloop replay-determinism alloc-check zoo-check bench-short serve-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -76,6 +81,13 @@ replay-determinism:
 alloc-check:
 	$(GO) test -count=1 -run 'Allocs|Layout' ./internal/pool/ ./internal/core/ ./internal/rt/
 
+# The zoo gates run with -count=1 so a cached pass cannot mask a fresh
+# regression in a preset or the codec.
+zoo-check:
+	$(GO) test -count=1 -run 'PlatformJSON|LoadFile|ValidateRejections|ZooPresets|ZooTopologies|ClusterDist' ./internal/amp/
+	$(GO) test -count=1 -run 'ZooConformance' ./internal/core/
+	$(GO) test -count=1 -run 'CrossEngineZoo' ./internal/rt/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -105,6 +117,13 @@ bench-short:
 	fi
 	mv BENCH_hotpath.json.part BENCH_hotpath.json
 	rm -f $(BENCHTMP)
+	$(GO) test -short -run=XXX -bench=BenchmarkZoo -benchtime=1x . > $(BENCHTMP).part
+	mv $(BENCHTMP).part $(BENCHTMP)
+	cat $(BENCHTMP)
+	$(GO) run ./cmd/benchjson -o BENCH_zoo.json.part $(BENCHTMP)
+	$(GO) run ./cmd/benchjson -check BENCH_zoo.json.part
+	mv BENCH_zoo.json.part BENCH_zoo.json
+	rm -f $(BENCHTMP)
 	$(GO) test -short -run=XXX -bench='BenchmarkReplay(Exact|WhatIf)' -benchtime=5x ./internal/replay/
 
 # The service smoke runs short enough for CI but long enough to admit a
@@ -128,3 +147,4 @@ bench-check:
 	$(GO) run ./cmd/benchjson -check BENCH_multiloop.json
 	$(GO) run ./cmd/benchjson -check BENCH_hotpath.json -baseline BENCH_hotpath.json
 	$(GO) run ./cmd/benchjson -check BENCH_serve.json
+	$(GO) run ./cmd/benchjson -check BENCH_zoo.json

@@ -191,6 +191,32 @@ func BenchmarkHybridPctSweep(b *testing.B) {
 	b.ReportMetric(at80, "gmean-normperf-at-80%")
 }
 
+// BenchmarkZoo sweeps the platform zoo (every registry preset under the
+// zoo schemes, exps.RunZoo) and emits one sub-benchmark row per
+// (platform, scheme) cell carrying the cell's makespan and modeled energy
+// as custom metrics — the source of the committed BENCH_zoo.json capture.
+func BenchmarkZoo(b *testing.B) {
+	var z exps.ZooResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		z, err = exps.RunZoo()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range z.Rows {
+		r := r
+		b.Run(r.Platform+"/"+r.Scheme, func(sb *testing.B) {
+			for i := 0; i < sb.N; i++ {
+				// The sweep already ran above; this row only carries its
+				// cell's metrics.
+			}
+			sb.ReportMetric(r.MakespanNs/1e6, "makespan-ms")
+			sb.ReportMetric(r.EnergyJ, "energy-J")
+		})
+	}
+}
+
 // --- micro-benchmarks of the runtime primitives ---
 
 // BenchmarkWorkShareSteal measures the lock-free iteration pool's

@@ -11,6 +11,7 @@
 //	aidbench -exp fig9c             # Fig 9c: blackscholes SF series
 //	aidbench -exp guided            # guided vs static/dynamic summary
 //	aidbench -exp hybridpct         # AID-hybrid percentage sweep
+//	aidbench -exp zoo               # platform zoo: makespan + energy per preset
 //	aidbench -exp all               # everything above, in order
 //
 // Add -csv to emit comma-separated values for fig6/fig7.
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig6|fig7|table2|fig8|fig9|fig9c|guided|hybridpct|all")
+	exp := flag.String("exp", "all", "experiment to run: fig6|fig7|table2|fig8|fig9|fig9c|guided|hybridpct|zoo|all")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table (fig6/fig7)")
 	flag.Parse()
 
@@ -86,8 +87,15 @@ func run(exp string, csv bool) error {
 		}
 		fmt.Print(h.Render())
 		return nil
+	case "zoo":
+		z, err := exps.RunZoo()
+		if err != nil {
+			return err
+		}
+		fmt.Print(z.Render())
+		return nil
 	case "all":
-		for _, e := range []string{"fig6", "fig7", "table2", "fig8", "fig9", "fig9c", "guided", "hybridpct"} {
+		for _, e := range []string{"fig6", "fig7", "table2", "fig8", "fig9", "fig9c", "guided", "hybridpct", "zoo"} {
 			fmt.Printf("==== %s ====\n", e)
 			if err := run(e, csv); err != nil {
 				return err

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -12,17 +13,23 @@ import (
 )
 
 func main() {
-	plA := amp.PlatformA()
+	platform := flag.String("platform", "A", "platform: a registry name or a platform JSON file")
+	flag.Parse()
+	pl, err := amp.Resolve(*platform)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aidcal:", err)
+		os.Exit(1)
+	}
 	for _, w := range workloads.All() {
 		loops := w.Program.Loops()
 		minOff, maxOff, minOn, maxOn := 1e9, 0.0, 1e9, 0.0
 		for _, l := range loops {
-			off, err := sim.MeasureLoopSF(plA, l)
+			off, err := sim.MeasureLoopSF(pl, l)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			on := plA.SF(l.Profile, 4, 4)
+			on := pl.SF(l.Profile, 4, 4)
 			if off < minOff {
 				minOff = off
 			}

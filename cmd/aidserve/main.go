@@ -58,6 +58,7 @@ func main() {
 	loops := flag.Int("loops", 8, "closed-loop mode: number of simultaneous loop submissions")
 	iters := flag.Int64("iters", 200_000, "iterations per loop")
 	threads := flag.Int("threads", 0, "fleet size (0 = platform core count)")
+	platformText := flag.String("platform", "A", "platform: a registry name or a platform JSON file")
 	schedText := flag.String("sched", "aid-dynamic,1,5", "loop schedule in GOOMP_SCHEDULE syntax")
 	policyName := flag.String("policy", "wrr", "fairness policy: wrr|fcfs|sf-aware")
 	weightsCSV := flag.String("weights", "", "closed-loop mode: comma-separated per-loop weights (default all 1)")
@@ -78,18 +79,22 @@ func main() {
 	bench := flag.Bool("bench", false, "also emit benchjson-compatible Benchmark lines")
 	flag.Parse()
 
-	var err error
+	pl, err := amp.Resolve(*platformText)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aidserve:", err)
+		os.Exit(1)
+	}
 	if *arrivals != "" {
 		err = serve(serveOpts{
 			kind: *arrivals, rate: *rate, duration: *duration, seed: *seed,
 			classesCSV: *classesCSV, maxPending: *maxPending, shed: *shed,
 			sampleEvery: *sample, sampleBudget: *sampleBudget, sampleHead: *sampleHead,
 			recordPath: *recordPath, bench: *bench,
-			iters: *iters, threads: *threads, schedText: *schedText,
+			iters: *iters, threads: *threads, pl: pl, schedText: *schedText,
 			policyName: *policyName, spin: *spin, virtual: *virtual,
 		}, os.Stdout)
 	} else {
-		err = run(*loops, *iters, *threads, *schedText, *policyName, *weightsCSV, *spin, *virtual)
+		err = run(*loops, *iters, *threads, pl, *schedText, *policyName, *weightsCSV, *spin, *virtual)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aidserve:", err)
@@ -166,7 +171,7 @@ func spanOf(results []sim.LoopResult) time.Duration {
 	return time.Duration(maxEnd - minStart)
 }
 
-func run(loops int, iters int64, threads int, schedText, policyName, weightsCSV string, spin int, virtual bool) error {
+func run(loops int, iters int64, threads int, pl *amp.Platform, schedText, policyName, weightsCSV string, spin int, virtual bool) error {
 	if loops <= 0 {
 		return fmt.Errorf("need at least one loop, got %d", loops)
 	}
@@ -186,9 +191,9 @@ func run(loops int, iters int64, threads int, schedText, policyName, weightsCSV 
 		return err
 	}
 	if virtual {
-		return runVirtual(loops, iters, threads, sched, policy, weights, spin)
+		return runVirtual(loops, iters, threads, pl, sched, policy, weights, spin)
 	}
-	return runReal(loops, iters, threads, sched, policy, weights, spin)
+	return runReal(loops, iters, threads, pl, sched, policy, weights, spin)
 }
 
 // spinIter burns deterministic CPU work for one iteration; the result is
@@ -223,8 +228,8 @@ func durNs(ns float64) time.Duration {
 	return time.Duration(ns).Round(time.Microsecond)
 }
 
-func runReal(loops int, iters int64, threads int, sched rt.Schedule, policy fair.Policy, weights []int, spin int) error {
-	reg, err := rt.NewRegistry(rt.RegistryConfig{NThreads: threads, Policy: policy})
+func runReal(loops int, iters int64, threads int, pl *amp.Platform, sched rt.Schedule, policy fair.Policy, weights []int, spin int) error {
+	reg, err := rt.NewRegistry(rt.RegistryConfig{Platform: pl, NThreads: threads, Policy: policy})
 	if err != nil {
 		return err
 	}
@@ -262,8 +267,7 @@ func runReal(loops int, iters int64, threads int, sched rt.Schedule, policy fair
 	return nil
 }
 
-func runVirtual(loops int, iters int64, threads int, sched rt.Schedule, policy fair.Policy, weights []int, spin int) error {
-	pl := amp.PlatformA()
+func runVirtual(loops int, iters int64, threads int, pl *amp.Platform, sched rt.Schedule, policy fair.Policy, weights []int, spin int) error {
 	if threads == 0 {
 		threads = pl.NumCores()
 	}
@@ -315,6 +319,7 @@ type serveOpts struct {
 
 	iters      int64
 	threads    int
+	pl         *amp.Platform
 	schedText  string
 	policyName string
 	spin       int
@@ -362,6 +367,9 @@ func serve(o serveOpts, w io.Writer) error {
 	}
 	if o.maxPending <= 0 {
 		return fmt.Errorf("-max-pending must be positive, got %d", o.maxPending)
+	}
+	if o.pl == nil {
+		o.pl = amp.PlatformA()
 	}
 	classes, err := fair.ParseClasses(o.classesCSV)
 	if err != nil {
@@ -413,7 +421,7 @@ func serveReal(o serveOpts, classes []fair.Class, sched rt.Schedule, policy fair
 	if err != nil {
 		return nil, err
 	}
-	reg, err := rt.NewRegistry(rt.RegistryConfig{NThreads: o.threads, Policy: policy})
+	reg, err := rt.NewRegistry(rt.RegistryConfig{Platform: o.pl, NThreads: o.threads, Policy: policy})
 	if err != nil {
 		return nil, err
 	}
@@ -524,7 +532,7 @@ func serveVirtual(o serveOpts, classes []fair.Class, sched rt.Schedule, policy f
 	if len(times) == 0 {
 		return nil, fmt.Errorf("no arrivals within %v at rate %g/s", o.duration, o.rate)
 	}
-	pl := amp.PlatformA()
+	pl := o.pl
 	threads := o.threads
 	if threads == 0 {
 		threads = pl.NumCores()

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/amp"
 	"repro/internal/fair"
 	"repro/internal/replay"
 	"repro/internal/rt"
@@ -110,7 +111,7 @@ func testServeOpts(virtual bool) serveOpts {
 	return serveOpts{
 		kind: "poisson", rate: 400, duration: 250 * time.Millisecond, seed: 7,
 		classesCSV: "gold:8,bronze:1", maxPending: 32, shed: true,
-		iters: 2000, threads: 4, schedText: "aid-dynamic,1,5",
+		iters: 2000, threads: 4, pl: amp.PlatformA(), schedText: "aid-dynamic,1,5",
 		policyName: "wrr", spin: 20, virtual: virtual,
 	}
 }

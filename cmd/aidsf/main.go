@@ -23,15 +23,16 @@ import (
 
 func main() {
 	app := flag.String("app", "", "workload to measure (default: Fig 2 = BT and CG)")
+	platform := flag.String("platform", "", "restrict to one platform: a registry name or a platform JSON file (default: A and B)")
 	flag.Parse()
 
-	if err := run(*app); err != nil {
+	if err := run(*app, *platform); err != nil {
 		fmt.Fprintln(os.Stderr, "aidsf:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string) error {
+func run(app, platform string) error {
 	if app == "" {
 		series, err := exps.RunFig2()
 		if err != nil {
@@ -50,7 +51,15 @@ func run(app string) error {
 		}
 		return fmt.Errorf("unknown workload %q; available: %s", app, strings.Join(names, ", "))
 	}
-	for _, pl := range []*amp.Platform{amp.PlatformA(), amp.PlatformB()} {
+	platforms := []*amp.Platform{amp.PlatformA(), amp.PlatformB()}
+	if platform != "" {
+		pl, err := amp.Resolve(platform)
+		if err != nil {
+			return err
+		}
+		platforms = []*amp.Platform{pl}
+	}
+	for _, pl := range platforms {
 		fmt.Printf("%s — per-loop offline SF on Platform %s\n", w.Name, pl.Name)
 		for i, spec := range w.Program.Loops() {
 			sf, err := sim.MeasureLoopSF(pl, spec)

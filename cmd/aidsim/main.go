@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	platform := flag.String("platform", "A", "platform: A, B or Tri")
+	platform := flag.String("platform", "A", "platform: a registry name (aidsim -platform list) or a platform JSON file")
 	threads := flag.Int("threads", 0, "worker threads (default: all cores)")
 	bindingText := flag.String("binding", "BS", "thread binding: SB or BS")
 	schedText := flag.String("sched", "all", "schedule (GOOMP_SCHEDULE syntax) or 'all'")
@@ -48,16 +48,13 @@ func main() {
 
 func run(platform string, threads int, bindingText, schedText string,
 	ni int64, cost, slope, ilp, mem, footprint float64, showTrace bool, migrate string) error {
-	var pl *amp.Platform
-	switch strings.ToUpper(platform) {
-	case "A":
-		pl = amp.PlatformA()
-	case "B":
-		pl = amp.PlatformB()
-	case "TRI":
-		pl = amp.PlatformTri()
-	default:
-		return fmt.Errorf("unknown platform %q (A, B or Tri)", platform)
+	if strings.EqualFold(platform, "list") {
+		fmt.Println(strings.Join(amp.Names(), "\n"))
+		return nil
+	}
+	pl, err := amp.Resolve(platform)
+	if err != nil {
+		return err
 	}
 	if threads == 0 {
 		threads = pl.NumCores()

@@ -55,7 +55,7 @@ func main() {
 	app := flag.String("app", "", "workload name for free-form tracing (e.g. EP)")
 	schedText := flag.String("sched", "aid-static", "schedule in GOOMP_SCHEDULE syntax")
 	bindingText := flag.String("binding", "BS", "thread binding: SB or BS")
-	platform := flag.String("platform", "A", "platform: A or B")
+	platform := flag.String("platform", "A", "platform: a registry name or a platform JSON file")
 	engine := flag.String("engine", "sim", "record engine: sim (virtual time) or rt (real goroutines)")
 	recordPath := flag.String("record", "", "record the run to this JSONL file")
 	replayPath := flag.String("replay", "", "exact-replay the given record file")
@@ -129,9 +129,9 @@ func resolveWorkload(app, schedText, bindingText, platform string) (resolved, er
 	default:
 		return resolved{}, fmt.Errorf("binding must be SB or BS, got %q", bindingText)
 	}
-	pl := amp.PlatformA()
-	if strings.EqualFold(platform, "B") {
-		pl = amp.PlatformB()
+	pl, err := amp.Resolve(platform)
+	if err != nil {
+		return resolved{}, err
 	}
 	loops := w.Program.Loops()
 	if len(loops) == 0 {

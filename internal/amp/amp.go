@@ -18,9 +18,34 @@
 // the mix is described by a Profile, and SF *emerges* from the speed model —
 // the runtime system never reads it and must estimate it online, exactly as
 // libgomp must on real hardware.
+//
+// # Platform zoo and platform files
+//
+// Beyond the paper's two machines the package keeps a registry of named
+// platforms — the "zoo" — so every command and experiment can run on any of
+// them. Lookup resolves a registry name, Names lists them, and Resolve
+// additionally accepts a path to a platform file. The current registry:
+//
+//	A        Odroid-XU4 big.LITTLE (4x Cortex-A15 + 4x Cortex-A7)
+//	B        emulated Xeon E5-2620 v4 AMP (4 fast + 4 throttled cores)
+//	Tri      DynamIQ-style tri-gear (2 prime + 3 middle + 3 little)
+//	Cluster  dual-package big.LITTLE, two big + two little clusters with
+//	         private per-cluster LLCs (exercises the cross-package tier)
+//	Hybrid   P/E-core hybrid desktop (4 P cores + two 4-core E clusters)
+//
+// A platform file is the JSON encoding produced by Platform.EncodeJSON: an
+// object with "Name" (string), "Clusters" (ordered big-first; each cluster
+// carries its CoreType, NumCores, LLCMB, MissSlope, SatGBps and Package) and
+// "Overhead" (the runtime cost constants). DecodeJSON/LoadFile rebuild the
+// platform through New — which fills defaulted energy and tiered-locality
+// fields — and reject files that fail Validate (zero-core clusters,
+// non-finite frequencies, clusters not ordered big-first, ...).
 package amp
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Profile characterizes the instruction mix of a piece of code (one parallel
 // loop, or a serial phase). It determines the per-core-type execution speed
@@ -71,6 +96,12 @@ type CoreType struct {
 	// code on an otherwise idle cluster (covers prefetching quality and the
 	// frequency-scaled cache hierarchy).
 	MemGBps float64
+	// ActiveW is the per-core power draw in Watts while executing; IdleW the
+	// draw while parked (retired from a loop but inside the barrier). They
+	// feed the per-cluster energy model the simulator surfaces as Joules.
+	// Zero values are filled by New with frequency-scaled defaults.
+	ActiveW float64
+	IdleW   float64
 }
 
 // IPC returns instructions per cycle for code with the given ILP. The
@@ -107,6 +138,11 @@ type Cluster struct {
 	// mechanism behind §5C: offline-collected SF values overestimate the
 	// big-core advantage because single-thread runs never saturate DRAM.
 	SatGBps float64
+	// Package is the physical package (die) the cluster sits on. Clusters
+	// on the same package exchange cache lines over the on-die interconnect;
+	// cross-package transfers pay the remote locality tier. ClusterDist
+	// derives the topology distance from it.
+	Package int
 }
 
 // Overheads are the runtime-system cost constants used by the simulator.
@@ -117,10 +153,18 @@ type Cluster struct {
 // scheduling (§2: "the non-predictive behavior of this approach tends to
 // degrade data locality"), the fork/join cost per parallel loop, and the
 // cost of reading a timestamp (cheap on Linux thanks to the vsyscall, §4.2).
+// The locality penalty is tiered by chunk provenance: a cold chunk claimed
+// from the thread's own (home) shard pays LocalityPenaltyNs, one handed off
+// from a foreign shard whose owner cluster shares the package pays
+// LocalityForeignNs, and one pulled across packages pays LocalityRemoteNs.
+// Zero tier values are filled by New from LocalityPenaltyNs (1.5x / 2.5x),
+// so platform descriptions that predate the tiers stay valid.
 type Overheads struct {
 	PoolAccessNs      float64 // one GOMP_loop_*_next style pool access
 	ContentionNs      float64 // extra per concurrent accessor on the pool line
-	LocalityPenaltyNs float64 // per chunk boundary, charged on the executing core
+	LocalityPenaltyNs float64 // cold chunk from the home shard
+	LocalityForeignNs float64 // cold chunk from a same-package foreign shard
+	LocalityRemoteNs  float64 // cold chunk from a cross-package foreign shard
 	ForkJoinNs        float64 // per parallel loop (fork + implicit barrier)
 	TimestampNs       float64 // one clock read during sampling
 }
@@ -172,7 +216,7 @@ func New(name string, clusters []Cluster, ov Overheads) (*Platform, error) {
 	if len(clusters) == 0 {
 		return nil, fmt.Errorf("amp: platform %q has no clusters", name)
 	}
-	p := &Platform{Name: name, Clusters: clusters, Overhead: ov}
+	p := &Platform{Name: name, Clusters: append([]Cluster(nil), clusters...), Overhead: ov}
 	// Flatten: small clusters occupy low CPU numbers. We treat cluster 0 as
 	// the big cluster and later clusters as progressively smaller, so we
 	// emit cores in reverse cluster order.
@@ -185,7 +229,123 @@ func New(name string, clusters []Cluster, ov Overheads) (*Platform, error) {
 			p.cores = append(p.cores, coreInfo{cluster: ci, big: ci == 0})
 		}
 	}
+	// Fill defaulted energy and locality-tier fields so descriptions that
+	// predate them (old platform files, trace records) keep working. The
+	// defaults are deterministic functions of the populated fields, which
+	// keeps New idempotent: re-encoding a normalized platform and decoding
+	// it yields the same platform.
+	for ci := range p.Clusters {
+		ct := &p.Clusters[ci].Type
+		if ct.ActiveW == 0 {
+			ipc := ct.IPCScalar
+			if ct.IPCMax > ipc {
+				ipc = ct.IPCMax
+			}
+			ct.ActiveW = 0.5 * ct.FreqGHz * ct.DutyCycle * ipc
+		}
+		if ct.IdleW == 0 {
+			ct.IdleW = 0.08 * ct.ActiveW
+		}
+	}
+	if p.Overhead.LocalityForeignNs == 0 {
+		p.Overhead.LocalityForeignNs = 1.5 * p.Overhead.LocalityPenaltyNs
+	}
+	if p.Overhead.LocalityRemoteNs == 0 {
+		p.Overhead.LocalityRemoteNs = 2.5 * p.Overhead.LocalityPenaltyNs
+	}
 	return p, nil
+}
+
+// ClusterDist returns the topology distance between two clusters: 0 for the
+// same cluster, 1 for distinct clusters on the same package, 2 across
+// packages. It is the metric behind the tiered locality penalty and the
+// nearest-victim steal order.
+func (p *Platform) ClusterDist(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if p.Clusters[a].Package == p.Clusters[b].Package {
+		return 1
+	}
+	return 2
+}
+
+// TypeDist returns the full cluster-to-cluster distance matrix (see
+// ClusterDist), in the shape pool.SetTopology and core.LoopInfo consume.
+func (p *Platform) TypeDist() [][]int {
+	d := make([][]int, len(p.Clusters))
+	for i := range d {
+		d[i] = make([]int, len(p.Clusters))
+		for j := range d[i] {
+			d[i][j] = p.ClusterDist(i, j)
+		}
+	}
+	return d
+}
+
+// Validate checks the platform description for the malformations a hand-
+// written or corrupted platform file can carry: zero-core clusters,
+// non-finite or non-positive rates, duty cycles outside (0,1], negative
+// overheads, and clusters not ordered big-first (New's flattening convention
+// requires cluster 0 to be the fastest). New performs only the structural
+// checks; DecodeJSON and the registry run Validate on top.
+func (p *Platform) Validate() error {
+	if len(p.Clusters) == 0 {
+		return fmt.Errorf("amp: platform %q has no clusters", p.Name)
+	}
+	bad := func(x float64) bool { return math.IsNaN(x) || math.IsInf(x, 0) }
+	prev := math.Inf(1)
+	for ci, c := range p.Clusters {
+		if c.NumCores <= 0 {
+			return fmt.Errorf("amp: cluster %d of %q has %d cores", ci, p.Name, c.NumCores)
+		}
+		ct := c.Type
+		if !(ct.FreqGHz > 0) || bad(ct.FreqGHz) {
+			return fmt.Errorf("amp: cluster %d of %q: frequency %v GHz not positive and finite", ci, p.Name, ct.FreqGHz)
+		}
+		if !(ct.DutyCycle > 0) || ct.DutyCycle > 1 {
+			return fmt.Errorf("amp: cluster %d of %q: duty cycle %v outside (0,1]", ci, p.Name, ct.DutyCycle)
+		}
+		if !(ct.IPCScalar > 0) || bad(ct.IPCScalar) || !(ct.IPCMax > 0) || bad(ct.IPCMax) {
+			return fmt.Errorf("amp: cluster %d of %q: IPC %v/%v not positive and finite", ci, p.Name, ct.IPCScalar, ct.IPCMax)
+		}
+		if !(ct.MemGBps > 0) || bad(ct.MemGBps) {
+			return fmt.Errorf("amp: cluster %d of %q: memory throughput %v not positive and finite", ci, p.Name, ct.MemGBps)
+		}
+		if ct.ActiveW < 0 || bad(ct.ActiveW) || ct.IdleW < 0 || bad(ct.IdleW) {
+			return fmt.Errorf("amp: cluster %d of %q: power draw %v/%v W negative or not finite", ci, p.Name, ct.ActiveW, ct.IdleW)
+		}
+		if c.LLCMB < 0 || bad(c.LLCMB) || c.MissSlope < 0 || bad(c.MissSlope) || c.SatGBps < 0 || bad(c.SatGBps) {
+			return fmt.Errorf("amp: cluster %d of %q: negative or non-finite cache/saturation parameters", ci, p.Name)
+		}
+		if c.Package < 0 {
+			return fmt.Errorf("amp: cluster %d of %q: negative package %d", ci, p.Name, c.Package)
+		}
+		// Big-first ordering: single-thread compute speed at a moderate mix
+		// must not increase along the cluster list (ties allowed — twin
+		// clusters on different packages are legitimately equal).
+		ref := ct.ComputeSpeed(0.5)
+		if ref > prev*(1+1e-9) {
+			return fmt.Errorf("amp: clusters of %q not ordered big-first: cluster %d (speed %.3f) is faster than its predecessor (%.3f)",
+				p.Name, ci, ref, prev)
+		}
+		prev = ref
+	}
+	ov := p.Overhead
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"PoolAccessNs", ov.PoolAccessNs}, {"ContentionNs", ov.ContentionNs},
+		{"LocalityPenaltyNs", ov.LocalityPenaltyNs}, {"LocalityForeignNs", ov.LocalityForeignNs},
+		{"LocalityRemoteNs", ov.LocalityRemoteNs}, {"ForkJoinNs", ov.ForkJoinNs},
+		{"TimestampNs", ov.TimestampNs},
+	} {
+		if f.v < 0 || bad(f.v) {
+			return fmt.Errorf("amp: platform %q: overhead %s = %v negative or not finite", p.Name, f.name, f.v)
+		}
+	}
+	return nil
 }
 
 // NumCores returns the total core count.
@@ -308,6 +468,8 @@ func PlatformA() *Platform {
 			IPCScalar: 1.0,
 			IPCMax:    3.3, // wide OoO: high ILP pays off
 			MemGBps:   1.6,
+			ActiveW:   1.8, // the A15 cluster dominates the XU4's power budget
+			IdleW:     0.15,
 		},
 		NumCores: 4,
 		LLCMB:    2.0,
@@ -326,6 +488,8 @@ func PlatformA() *Platform {
 			IPCScalar: 0.70, // in-order cores keep up on serial-dependent code
 			IPCMax:    0.52, // ...but gain nothing from exploitable ILP
 			MemGBps:   1.45,
+			ActiveW:   0.33,
+			IdleW:     0.03,
 		},
 		NumCores:  4,
 		LLCMB:     0.5,
@@ -336,9 +500,14 @@ func PlatformA() *Platform {
 		// ARM atomics and the shared pool line are comparatively expensive;
 		// these values make dynamic(1) overhead visible for short loops
 		// (IS slows down ~1.9x, §5A) while staying negligible for long ones.
+		// ContentionNs is calibrated for per-shard occupancy accounting: a
+		// home claim with the full cluster active pays 3x105 ns, matching
+		// the 7x45 ns the old all-active-threads model charged.
 		PoolAccessNs:      120,
-		ContentionNs:      45,
+		ContentionNs:      105,
 		LocalityPenaltyNs: 160,
+		LocalityForeignNs: 240,
+		LocalityRemoteNs:  400,
 		ForkJoinNs:        9000,
 		TimestampNs:       30,
 	}
@@ -364,6 +533,8 @@ func PlatformB() *Platform {
 			IPCScalar: 1.3,
 			IPCMax:    3.8,
 			MemGBps:   4.6,
+			ActiveW:   8.5,
+			IdleW:     1.1,
 		},
 		NumCores:  4,
 		LLCMB:     10.0, // half of the shared 20MB LLC attributed per group
@@ -378,6 +549,8 @@ func PlatformB() *Platform {
 			IPCScalar: 1.25,
 			IPCMax:    3.35,
 			MemGBps:   2.7,
+			ActiveW:   4.2, // same microarchitecture, lower frequency and duty
+			IdleW:     1.0,
 		},
 		NumCores:  4,
 		LLCMB:     10.0,
@@ -390,8 +563,10 @@ func PlatformB() *Platform {
 		// easily negates dynamic's benefit (§5A: CG slows down by up to
 		// 2.86x under dynamic on this platform).
 		PoolAccessNs:      90,
-		ContentionNs:      40,
+		ContentionNs:      95, // per-shard occupancy: 3x95 ~= the old 7x40
 		LocalityPenaltyNs: 140,
+		LocalityForeignNs: 210,
+		LocalityRemoteNs:  350,
 		ForkJoinNs:        5200,
 		TimestampNs:       20,
 	}
@@ -453,8 +628,10 @@ func PlatformTri() *Platform {
 	}
 	ov := Overheads{
 		PoolAccessNs:      110,
-		ContentionNs:      40,
+		ContentionNs:      95,
 		LocalityPenaltyNs: 150,
+		LocalityForeignNs: 225,
+		LocalityRemoteNs:  375,
 		ForkJoinNs:        8000,
 		TimestampNs:       25,
 	}

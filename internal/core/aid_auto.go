@@ -191,11 +191,13 @@ func (a *AIDAuto) decide() {
 func (a *AIDAuto) finalAssign(tid int, st *perThread, asg *Assign) (Assign, bool) {
 	a.assigned++
 	st.state = stDrain
+	asg.Origin = OriginShared
 	want := int64(a.sf[a.info.TypeOf(tid)]*a.k+0.5) - st.delta
 	if want <= 0 {
 		return a.take(tid, st, a.chunk, asg)
 	}
 	rs, acc := a.ws.StealSpan(a.info.TypeOf(tid), want)
+	normalizeOrigin(a.ws, rs) // the classifier's pool is a single global window
 	asg.PoolAccesses += acc
 	st.delta += spanN(rs)
 	return st.serve(rs, asg)

@@ -111,7 +111,7 @@ func NewAIDDynamic(info LoopInfo, m, M int64) (*AIDDynamic, error) {
 		info:  info,
 		m:     m,
 		M:     M,
-		ws:    pool.NewSharded(info.NI, info.typeCounts()),
+		ws:    info.newSharded(),
 		sc:    pool.NewSampleCounters(info.NumTypes, info.NThreads),
 		th:    make([]aidDynThread, info.NThreads),
 		types: info.atomicTypes(),
@@ -325,6 +325,7 @@ func (a *AIDDynamic) aidAssign(tid int, st *aidDynThread, asg *Assign, nowNs int
 	st.state = stAID
 	st.epoch = a.phase.epoch()
 	st.lastTS = nowNs
+	asg.Origin = int(a.types[tid].Load()) // drained-pool probes charge the home line
 	r := *a.r.Load()
 	nominal := int64(math.Round(r[a.types[tid].Load()] * float64(a.M)))
 	if nominal < a.m {
@@ -347,6 +348,7 @@ func (a *AIDDynamic) aidAssign(tid int, st *aidDynThread, asg *Assign, nowNs int
 	// into the SM update. Tail pieces go to the stash and are served (and
 	// measured) before the phase completes.
 	rs, acc := a.ws.StealSpan(int(a.types[tid].Load()), want)
+	normalizeOrigin(a.ws, rs) // adopted single-shard pools (AID-auto) have no type tags
 	asg.PoolAccesses += acc
 	got, ok := a.serveAllotment(st, rs, asg)
 	if !ok {
@@ -428,7 +430,7 @@ func (a *AIDDynamic) Next(tid int, nowNs int64) (Assign, bool) {
 		// first piece.
 		if rg, ok := st.pop(); ok {
 			st.servedN += rg.N()
-			asg.Lo, asg.Hi = rg.Lo, rg.Hi
+			asg.Lo, asg.Hi, asg.Origin = rg.Lo, rg.Hi, int(rg.From)
 			return *asg, true
 		}
 		// The thread just completed its AID-phase allotment; the phase

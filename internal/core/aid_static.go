@@ -170,7 +170,7 @@ func NewAIDHybrid(info LoopInfo, chunk int64, pct float64) (*AIDHybrid, error) {
 		info:  info,
 		chunk: chunk,
 		pct:   pct,
-		ws:    pool.NewSharded(info.NI, info.typeCounts()),
+		ws:    info.newSharded(),
 		sc:    pool.NewSampleCounters(info.NumTypes, info.NThreads),
 		th:    make([]perThread, info.NThreads),
 		types: info.atomicTypes(),
@@ -263,6 +263,7 @@ func (a *AIDHybrid) computeK(sf []float64, pct float64) float64 {
 func (a *AIDHybrid) finalAssign(tid int, st *perThread, asg *Assign) (Assign, bool) {
 	st.state = stDrain
 	home := int(a.types[tid].Load())
+	asg.Origin = home // drained-pool probes are charged to the home line
 	var rs []pool.Range
 	want := int64(math.Round(a.sf[home]*a.k)) - st.delta
 	if want > 0 {

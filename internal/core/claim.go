@@ -37,25 +37,39 @@ func (cs *claimState) pop() (pool.Range, bool) {
 	return r, true
 }
 
+// originOf resolves a pool-reported provenance into Assign.Origin space: a
+// pool with a single shard is a type-shared line (AID-auto's deliberate
+// global window), whose owner tag means nothing in core-type space, so its
+// claims are marked OriginShared and charged globally.
+func originOf(ws *pool.ShardedWorkShare, from int) int {
+	if ws.NumTypes() == 1 {
+		return OriginShared
+	}
+	return from
+}
+
 // take serves up to n iterations: first from the stash, then from the pool
 // with batched foreign-shard handoff. Everything claimed (served or
 // stashed) is added to δ at claim time, so a thread can never exit with
-// stashed work and δ never under-counts what the thread owns.
+// stashed work and δ never under-counts what the thread owns. Served
+// ranges carry their provenance (Assign.Origin); stashed surplus keeps it
+// in Range.From.
 func (cs *claimState) take(ws *pool.ShardedWorkShare, home int, n int64, asg *Assign) (Assign, bool) {
 	if r, ok := cs.pop(); ok {
 		cs.lastN = r.N()
-		asg.Lo, asg.Hi = r.Lo, r.Hi
+		asg.Lo, asg.Hi, asg.Origin = r.Lo, r.Hi, int(r.From)
 		return *asg, true
 	}
-	lo, hi, acc, ok := ws.TryStealBatch(home, n, n*pool.HandoffBatch)
+	lo, hi, from, acc, ok := ws.TryStealBatchFrom(home, n, n*pool.HandoffBatch)
 	asg.PoolAccesses += acc
+	asg.Origin = originOf(ws, from)
 	if !ok {
 		cs.lastN = 0
 		return *asg, false
 	}
 	cs.delta += hi - lo
 	if hi-lo > n {
-		cs.pending = append(cs.pending, pool.Range{Lo: lo + n, Hi: hi})
+		cs.pending = append(cs.pending, pool.Range{Lo: lo + n, Hi: hi, From: int32(asg.Origin)})
 		hi = lo + n
 	}
 	cs.lastN = hi - lo
@@ -74,11 +88,12 @@ func (cs *claimState) take(ws *pool.ShardedWorkShare, home int, n int64, asg *As
 func (cs *claimState) takeCredit(ws *pool.ShardedWorkShare, home int, n int64, asg *Assign) (Assign, bool) {
 	if r, ok := cs.pop(); ok {
 		cs.lastN = r.N()
-		asg.Lo, asg.Hi = r.Lo, r.Hi
+		asg.Lo, asg.Hi, asg.Origin = r.Lo, r.Hi, int(r.From)
 		return *asg, true
 	}
 	lo, hi, st, ok := ws.TryStealCredit(home, n, &cs.credit)
 	asg.PoolAccesses += st.Accesses
+	asg.Origin = originOf(ws, st.From)
 	cs.delta += st.Claimed - st.Returned
 	if !ok {
 		cs.lastN = 0
@@ -89,6 +104,19 @@ func (cs *claimState) takeCredit(ws *pool.ShardedWorkShare, home int, n int64, a
 	return *asg, true
 }
 
+// normalizeOrigin rewrites the provenance tags of ranges claimed from a
+// type-shared (single-shard) pool to OriginShared — see originOf. A no-op
+// for per-type sharded pools, whose owner tags are already in core-type
+// space.
+func normalizeOrigin(ws *pool.ShardedWorkShare, rs []pool.Range) {
+	if ws.NumTypes() > 1 {
+		return
+	}
+	for i := range rs {
+		rs[i].From = OriginShared
+	}
+}
+
 // serve hands the first of the given claimed ranges to the thread and
 // stashes the rest, falling back to the stash; ok=false means the thread
 // has nothing left at all. The caller accounts δ for the span itself.
@@ -96,7 +124,7 @@ func (cs *claimState) serve(rs []pool.Range, asg *Assign) (Assign, bool) {
 	cs.pending = append(cs.pending, rs...)
 	if r, ok := cs.pop(); ok {
 		cs.lastN = r.N()
-		asg.Lo, asg.Hi = r.Lo, r.Hi
+		asg.Lo, asg.Hi, asg.Origin = r.Lo, r.Hi, int(r.From)
 		return *asg, true
 	}
 	cs.lastN = 0

@@ -52,6 +52,13 @@ type LoopInfo struct {
 	// be stable for the duration of the loop (assumption (iii) of §4.2:
 	// threads are not migrated between core types during a loop).
 	TypeOf func(tid int) int
+	// TypeDist, when non-nil, is the platform's topology distance matrix
+	// between core types (amp.Platform.TypeDist): TypeDist[a][b] is 0 for
+	// types in the same cluster and grows with distance (same package,
+	// cross package). Schedulers that shard their pool per core type
+	// install it so foreign steals pick the topologically nearest victim;
+	// nil keeps the richest-only selection.
+	TypeDist [][]int
 }
 
 // Validate checks the loop description.
@@ -74,7 +81,20 @@ func (li LoopInfo) Validate() error {
 			return fmt.Errorf("core: thread %d maps to core type %d, out of [0,%d)", tid, ct, li.NumTypes)
 		}
 	}
+	if li.TypeDist != nil && len(li.TypeDist) < li.NumTypes {
+		return fmt.Errorf("core: topology matrix covers %d types, platform has %d", len(li.TypeDist), li.NumTypes)
+	}
 	return nil
+}
+
+// newSharded builds the loop's per-core-type sharded pool with the
+// topology distance matrix installed when the loop description carries one.
+func (li LoopInfo) newSharded() *pool.ShardedWorkShare {
+	ws := pool.NewSharded(li.NI, li.typeCounts())
+	if li.TypeDist != nil {
+		ws.SetTopology(li.TypeDist)
+	}
+	return ws
 }
 
 // typeCounts returns the number of threads per core type (N_t in §4.2).
@@ -105,11 +125,25 @@ func (li LoopInfo) atomicTypes() []atomic.Int32 {
 	return types
 }
 
+// OriginShared marks an Assign whose iterations came from a type-shared
+// pool structure (a single-shard pool, a central mutex-protected deque)
+// rather than a per-core-type shard: there is no per-type line to charge,
+// so the cost model attributes contention globally and prices locality at
+// the base tier.
+const OriginShared = -1
+
 // Assign is the result of one scheduler invocation: a half-open iteration
 // range plus the runtime-cost metadata the simulator charges for the call.
 type Assign struct {
 	// Lo, Hi delimit the assigned iterations [Lo, Hi).
 	Lo, Hi int64
+	// Origin is the provenance of the assigned range: the core type whose
+	// shard (or static share) the iterations came from, or OriginShared
+	// for ranges from a type-shared pool line. The simulator charges
+	// ContentionNs by the occupancy of the Origin shard and tiers the
+	// locality penalty by the topology distance between the executing
+	// thread's type and Origin.
+	Origin int
 	// PoolAccesses counts atomic operations on the shared iteration pool
 	// performed during this call (0 for compiled-in static distribution,
 	// 1 for a dynamic steal, 1+retries for a guided CAS).
@@ -181,7 +215,7 @@ func (s *Static) Next(tid int, _ int64) (Assign, bool) {
 	if lo >= hi {
 		return Assign{}, false
 	}
-	return Assign{Lo: lo, Hi: hi}, true
+	return Assign{Lo: lo, Hi: hi, Origin: s.info.TypeOf(tid)}, true
 }
 
 // --- static with chunk ---
@@ -224,7 +258,7 @@ func (s *StaticChunked) Next(tid int, _ int64) (Assign, bool) {
 		hi = s.info.NI
 	}
 	s.pos[tid] = lo + s.chunk*int64(s.info.NThreads)
-	return Assign{Lo: lo, Hi: hi}, true
+	return Assign{Lo: lo, Hi: hi, Origin: s.info.TypeOf(tid)}, true
 }
 
 // --- dynamic ---
@@ -251,7 +285,7 @@ func NewDynamic(info LoopInfo, chunk int64) (*Dynamic, error) {
 	if chunk <= 0 {
 		return nil, fmt.Errorf("core: dynamic chunk must be positive, got %d", chunk)
 	}
-	return &Dynamic{info: info, chunk: chunk, types: info.typeSlice(), ws: pool.NewSharded(info.NI, info.typeCounts())}, nil
+	return &Dynamic{info: info, chunk: chunk, types: info.typeSlice(), ws: info.newSharded()}, nil
 }
 
 // Name implements Scheduler.
@@ -262,11 +296,11 @@ func (d *Dynamic) Chunk() int64 { return d.chunk }
 
 // Next implements Scheduler.
 func (d *Dynamic) Next(tid int, _ int64) (Assign, bool) {
-	lo, hi, acc, ok := d.ws.TrySteal(d.types[tid], d.chunk)
+	lo, hi, from, acc, ok := d.ws.TryStealBatchFrom(d.types[tid], d.chunk, d.chunk)
 	if !ok {
-		return Assign{PoolAccesses: acc}, false
+		return Assign{Origin: d.types[tid], PoolAccesses: acc}, false
 	}
-	return Assign{Lo: lo, Hi: hi, PoolAccesses: acc}, true
+	return Assign{Lo: lo, Hi: hi, Origin: from, PoolAccesses: acc}, true
 }
 
 // --- guided ---
@@ -291,7 +325,7 @@ func NewGuided(info LoopInfo, minChunk int64) (*Guided, error) {
 	if minChunk <= 0 {
 		return nil, fmt.Errorf("core: guided min chunk must be positive, got %d", minChunk)
 	}
-	return &Guided{info: info, minChunk: minChunk, types: info.typeSlice(), ws: pool.NewSharded(info.NI, info.typeCounts())}, nil
+	return &Guided{info: info, minChunk: minChunk, types: info.typeSlice(), ws: info.newSharded()}, nil
 }
 
 // Name implements Scheduler.
@@ -300,7 +334,7 @@ func (g *Guided) Name() string { return "guided" }
 // Next implements Scheduler.
 func (g *Guided) Next(tid int, _ int64) (Assign, bool) {
 	n := int64(g.info.NThreads)
-	lo, hi, acc, ok := g.ws.TryStealFunc(g.types[tid], func(rem int64) int64 {
+	lo, hi, from, acc, ok := g.ws.TryStealFuncFrom(g.types[tid], func(rem int64) int64 {
 		size := rem / n
 		if size < g.minChunk {
 			size = g.minChunk
@@ -308,9 +342,9 @@ func (g *Guided) Next(tid int, _ int64) (Assign, bool) {
 		return size
 	})
 	if !ok {
-		return Assign{PoolAccesses: acc}, false
+		return Assign{Origin: g.types[tid], PoolAccesses: acc}, false
 	}
-	return Assign{Lo: lo, Hi: hi, PoolAccesses: acc}, true
+	return Assign{Lo: lo, Hi: hi, Origin: from, PoolAccesses: acc}, true
 }
 
 // Migratable is implemented by schedulers that can adapt when the OS

@@ -78,7 +78,9 @@ func (w *WorkSteal) Migrate(int, int, int64) {}
 func (w *WorkSteal) Next(tid int, _ int64) (Assign, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	asg := Assign{}
+	// All range bookkeeping sits behind one mutex — a single shared line in
+	// the cost model, so contention is attributed globally.
+	asg := Assign{Origin: OriginShared}
 	r := &w.ranges[tid]
 	if r.lo >= r.hi {
 		// Local range dry: steal the back half of the most-loaded victim.

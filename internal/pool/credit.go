@@ -40,12 +40,14 @@ func (c *Credit) Empty() bool { return c.N() == 0 }
 // and pool-access accounting: Accesses counts atomic RMW operations
 // (acquisition fetch-and-adds, return CAS attempts, drained-pool
 // observations), Claimed the iterations newly removed from the pool
-// (served plus credited), and Returned the iterations handed back to the
-// pool by a credit return.
+// (served plus credited), Returned the iterations handed back to the
+// pool by a credit return, and From the owner core type of the shard the
+// served range came from (its provenance; meaningful only on ok).
 type CreditSteal struct {
 	Accesses int
 	Claimed  int64
 	Returned int64
+	From     int
 }
 
 // ReturnCredit attempts to hand the unused part of a credit back to the
@@ -139,6 +141,7 @@ func (ws *ShardedWorkShare) TryStealCredit(home int, chunk int64, c *Credit) (lo
 		}
 	}
 	if c.s != nil && c.lo < c.hi {
+		st.From = int(c.s.owner)
 		lo = c.lo
 		hi = lo + chunk
 		if hi > c.hi {
@@ -177,13 +180,14 @@ func (ws *ShardedWorkShare) TryStealCredit(home int, chunk int64, c *Credit) (lo
 				}
 				st.Accesses++
 				st.Claimed += end - lo
+				st.From = int(s.owner)
 				return lo, hi, st, true
 			}
 			s.dead.Store(true)
 			st.Accesses++
 		}
 		for {
-			v := g.richestForeign(ht)
+			v := ws.victimForeign(g, ht)
 			if v < 0 {
 				break
 			}
@@ -199,6 +203,7 @@ func (ws *ShardedWorkShare) TryStealCredit(home int, chunk int64, c *Credit) (lo
 					*c = Credit{lo: hi, hi: chi, s: &g.shards[v], seq: seq}
 				}
 				st.Claimed += chi - clo
+				st.From = int(g.shards[v].owner)
 				return lo, hi, st, true
 			}
 			g.shards[v].dead.Store(true)

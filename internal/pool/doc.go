@@ -81,4 +81,29 @@
 // harness and the Reweight stress test (reweight_test.go) exercise all
 // three claim families — strict, batch, credit — against concurrent
 // re-cuts and assert exactly-once coverage per iteration.
+//
+// Nearest-victim steal order. A claim that falls over to a foreign shard
+// picks its victim by topology distance, not by wealth alone: with a
+// distance matrix installed (SetTopology, typically amp.Platform.TypeDist),
+// victimForeign ranks candidate shards by the distance between the
+// claimer's core type and the shard's owner type and takes the richest
+// shard of the NEAREST non-drained tier — a same-cluster handoff moves a
+// cache line inside one LLC, a cross-package one pays an interconnect
+// round-trip, so wealth only breaks ties within a tier. DrainAll walks
+// foreign shards in the same tier order. Without a matrix the selection
+// degenerates to richest-only, the pre-topology behavior. Victim selection
+// is a read-only heuristic over possibly stale remaining() reads — it
+// never participates in the coverage argument above, which rests solely on
+// the per-shard RMWs and the seqlock. Every claim is provenance-tagged
+// with the victim shard's owner type (Range.From, the From results of the
+// claim paths) so the cost model can price the handoff by the same
+// distance tiers.
+//
+// Interaction with Reweight: the matrix is indexed by owner TYPE, not by
+// shard index, so it survives re-cuts unchanged — a re-weighted generation
+// may split a type's share into several shards, but each keeps its owner
+// tag and therefore its distance tier. The matrix itself is written once,
+// before the pool is shared, and never by Reweight; installing a matrix
+// with fewer rows than the pool has types panics at SetTopology time
+// rather than racing at steal time.
 package pool

@@ -10,6 +10,11 @@ import (
 // Range is a half-open iteration interval [Lo, Hi).
 type Range struct {
 	Lo, Hi int64
+	// From is the owner core type of the shard the range was claimed from —
+	// the chunk's provenance, which the simulator's tiered locality model
+	// prices by topology distance. Ranges that do not originate from a
+	// sharded pool leave it 0.
+	From int32
 }
 
 // N returns the number of iterations in the range.
@@ -96,40 +101,6 @@ func (g *generation) clampType(home int) int {
 	return home
 }
 
-// richestForeign returns the index of the shard with the most unclaimed
-// work among those not owned by core type home, or -1 when every foreign
-// shard is drained.
-func (g *generation) richestForeign(home int) int {
-	victim, best := -1, int64(0)
-	for i := range g.shards {
-		if int(g.shards[i].owner) == home {
-			continue
-		}
-		if r := g.shards[i].remaining(); r > best {
-			best = r
-			victim = i
-		}
-	}
-	return victim
-}
-
-// richestOther is richestForeign with exclusion by shard index instead of
-// owner — the victim-selection rule of the span/guided paths, which walk
-// shards individually.
-func (g *generation) richestOther(idx int) int {
-	victim, best := -1, int64(0)
-	for i := range g.shards {
-		if i == idx {
-			continue
-		}
-		if r := g.shards[i].remaining(); r > best {
-			best = r
-			victim = i
-		}
-	}
-	return victim
-}
-
 // remaining sums the unclaimed iterations of every shard.
 func (g *generation) remaining() int64 {
 	var r int64
@@ -175,6 +146,83 @@ type ShardedWorkShare struct {
 	// the seq/gen line the hot path reads.
 	foreign atomic.Int64
 	_       [56]byte
+	// dist is the optional topology distance matrix installed by
+	// SetTopology; nil means richest-only victim selection. Written once
+	// before the pool is shared, read-only afterwards.
+	dist [][]int
+}
+
+// SetTopology installs a topology distance matrix for victim selection:
+// dist[a][b] is the distance between the clusters of core types a and b
+// (0 = same cluster, larger = farther; amp.Platform.TypeDist produces it).
+// With a topology installed, claims that fall over to a foreign shard pick
+// the topologically nearest victim first — richest only within the nearest
+// distance tier — and DrainAll visits foreign shards nearest-tier-first.
+// With no topology (nil), selection is richest-only, the pre-topology
+// behavior.
+//
+// SetTopology must be called before the pool is shared with other threads;
+// it is not synchronized with the claim paths.
+func (ws *ShardedWorkShare) SetTopology(dist [][]int) {
+	if dist != nil && len(dist) < ws.gen.Load().ntypes {
+		panic(fmt.Sprintf("pool: topology matrix covers %d types, pool has %d", len(dist), ws.gen.Load().ntypes))
+	}
+	ws.dist = dist
+}
+
+// distOf returns the topology distance between core types a and b; with no
+// matrix installed every foreign type is equidistant.
+func (ws *ShardedWorkShare) distOf(a, b int) int {
+	if ws.dist == nil {
+		if a == b {
+			return 0
+		}
+		return 1
+	}
+	return ws.dist[a][b]
+}
+
+// victimForeign picks the foreign shard a fallen-over claim steals from:
+// the topologically nearest non-drained victim, richest within the nearest
+// distance tier. -1 when every foreign shard is drained.
+func (ws *ShardedWorkShare) victimForeign(g *generation, home int) int {
+	victim, best, bestD := -1, int64(0), int(^uint(0)>>1)
+	for i := range g.shards {
+		o := int(g.shards[i].owner)
+		if o == home {
+			continue
+		}
+		r := g.shards[i].remaining()
+		if r <= 0 {
+			continue
+		}
+		if d := ws.distOf(home, o); d < bestD || (d == bestD && r > best) {
+			victim, best, bestD = i, r, d
+		}
+	}
+	return victim
+}
+
+// victimOther is victimForeign with exclusion by shard index instead of
+// owner — the victim-selection rule of the span path, which walks shards
+// individually and may legitimately revisit other home-owned shards.
+// Distance is measured from core type home to each shard's owner, so
+// same-type leftovers rank before any foreign tier.
+func (ws *ShardedWorkShare) victimOther(g *generation, home, exclude int) int {
+	victim, best, bestD := -1, int64(0), int(^uint(0)>>1)
+	for i := range g.shards {
+		if i == exclude {
+			continue
+		}
+		r := g.shards[i].remaining()
+		if r <= 0 {
+			continue
+		}
+		if d := ws.distOf(home, int(g.shards[i].owner)); d < bestD || (d == bestD && r > best) {
+			victim, best, bestD = i, r, d
+		}
+	}
+	return victim
 }
 
 // propCut returns ni*cum/total without intermediate overflow: the 128-bit
@@ -380,7 +428,8 @@ func badSteal(home int, chunk int64) {
 // The hot path is one flag load plus one fetch-and-add on the home shard's
 // private cache line.
 func (ws *ShardedWorkShare) TrySteal(home int, chunk int64) (lo, hi int64, accesses int, ok bool) {
-	return ws.TryStealBatch(home, chunk, chunk)
+	lo, hi, _, accesses, ok = ws.TryStealBatchFrom(home, chunk, chunk)
+	return lo, hi, accesses, ok
 }
 
 // TryStealBatch is TrySteal with batched handoff: a claim served by the
@@ -389,6 +438,16 @@ func (ws *ShardedWorkShare) TrySteal(home int, chunk int64) (lo, hi int64, acces
 // RMW. The caller keeps the surplus in thread-local state, amortizing the
 // contended foreign access. batch must be >= chunk.
 func (ws *ShardedWorkShare) TryStealBatch(home int, chunk, batch int64) (lo, hi int64, accesses int, ok bool) {
+	lo, hi, _, accesses, ok = ws.TryStealBatchFrom(home, chunk, batch)
+	return lo, hi, accesses, ok
+}
+
+// TryStealBatchFrom is TryStealBatch additionally reporting the claimed
+// range's provenance: from is the owner core type of the shard the range
+// came from (the caller's own clamped type on the home fast path), which
+// the cost model prices by topology distance. Foreign victims are picked
+// nearest-first (see SetTopology).
+func (ws *ShardedWorkShare) TryStealBatchFrom(home int, chunk, batch int64) (lo, hi int64, from, accesses int, ok bool) {
 	if chunk <= 0 || home < 0 || batch < chunk {
 		badSteal(home, chunk)
 	}
@@ -405,20 +464,20 @@ func (ws *ShardedWorkShare) TryStealBatch(home int, chunk, batch int64) (lo, hi 
 				if hi = lo + chunk; hi > s.end {
 					hi = s.end
 				}
-				return lo, hi, accesses + 1, true
+				return lo, hi, ht, accesses + 1, true
 			}
 			s.dead.Store(true)
 			accesses++
 		}
 		for {
-			v := g.richestForeign(ht)
+			v := ws.victimForeign(g, ht)
 			if v < 0 {
 				break
 			}
 			accesses++
 			if lo, hi, ok = g.shards[v].claim(batch); ok {
 				ws.foreign.Add(1)
-				return lo, hi, accesses, true
+				return lo, hi, int(g.shards[v].owner), accesses, true
 			}
 			g.shards[v].dead.Store(true)
 		}
@@ -426,7 +485,7 @@ func (ws *ShardedWorkShare) TryStealBatch(home int, chunk, batch int64) (lo, hi 
 			if accesses == 0 {
 				accesses = 1 // the drained-pool observation
 			}
-			return 0, 0, accesses, false
+			return 0, 0, ht, accesses, false
 		}
 		runtime.Gosched() // re-partition in flight: retry on the new generation
 	}
@@ -438,6 +497,14 @@ func (ws *ShardedWorkShare) TryStealBatch(home int, chunk, batch int64) (lo, hi 
 // the claim is CAS-based on a single shard (home preferred) and clipped at
 // the shard boundary. accesses reports RMW attempts including CAS retries.
 func (ws *ShardedWorkShare) TryStealFunc(home int, sizeOf func(remaining int64) int64) (lo, hi int64, accesses int, ok bool) {
+	lo, hi, _, accesses, ok = ws.TryStealFuncFrom(home, sizeOf)
+	return lo, hi, accesses, ok
+}
+
+// TryStealFuncFrom is TryStealFunc additionally reporting the claimed
+// range's provenance (the owner core type of the shard it was cut from);
+// foreign victims are picked nearest-first when a topology is installed.
+func (ws *ShardedWorkShare) TryStealFuncFrom(home int, sizeOf func(remaining int64) int64) (lo, hi int64, from, accesses int, ok bool) {
 	if home < 0 {
 		panic(fmt.Sprintf("pool: home shard %d out of range", home))
 	}
@@ -453,13 +520,13 @@ func (ws *ShardedWorkShare) TryStealFunc(home int, sizeOf func(remaining int64) 
 			}
 		}
 		if s == nil {
-			v := g.richestForeign(ht)
+			v := ws.victimForeign(g, ht)
 			if v < 0 {
 				if ws.drainedValid(seq) {
 					if accesses == 0 {
 						accesses = 1
 					}
-					return 0, 0, accesses, false
+					return 0, 0, ht, accesses, false
 				}
 				runtime.Gosched()
 				continue
@@ -484,16 +551,16 @@ func (ws *ShardedWorkShare) TryStealFunc(home int, sizeOf func(remaining int64) 
 		}
 		accesses++
 		if s.next.CompareAndSwap(cur, hi) {
-			return cur, hi, accesses, true
+			return cur, hi, int(s.owner), accesses, true
 		}
 	}
 }
 
 // StealSpan claims up to want iterations across shards (home shards first,
-// then richest-first foreign shards) and returns them as contiguous ranges.
-// The AID final assignment uses it so an allotment that exceeds the home
-// shard is not silently truncated. An empty slice means the pool is
-// drained.
+// then nearest-first foreign shards) and returns them as contiguous,
+// provenance-tagged ranges. The AID final assignment uses it so an
+// allotment that exceeds the home shard is not silently truncated. An empty
+// slice means the pool is drained.
 func (ws *ShardedWorkShare) StealSpan(home int, want int64) (rs []Range, accesses int) {
 	if want <= 0 {
 		panic(fmt.Sprintf("pool: non-positive span want %d", want))
@@ -510,7 +577,7 @@ func (ws *ShardedWorkShare) StealSpan(home int, want int64) (rs []Range, accesse
 			if s.remaining() > 0 {
 				accesses++
 				if lo, shi, ok := s.claim(want - got); ok {
-					rs = append(rs, Range{Lo: lo, Hi: shi})
+					rs = append(rs, Range{Lo: lo, Hi: shi, From: s.owner})
 					got += shi - lo
 					continue
 				}
@@ -519,7 +586,7 @@ func (ws *ShardedWorkShare) StealSpan(home int, want int64) (rs []Range, accesse
 				pick = int(g.byType[ht][hi])
 				continue
 			}
-			next := g.richestOther(pick)
+			next := ws.victimOther(g, ht, pick)
 			if next < 0 || next == pick {
 				break
 			}
@@ -538,9 +605,10 @@ func (ws *ShardedWorkShare) StealSpan(home int, want int64) (rs []Range, accesse
 	}
 }
 
-// DrainAll claims every remaining iteration, home shards first, as a list
-// of contiguous ranges. It is the sharded analog of TryStealRest, used by
-// the AID-static last-thread assignment so SF rounding never orphans work.
+// DrainAll claims every remaining iteration, home shards first and foreign
+// shards in nearest-tier order, as a list of contiguous, provenance-tagged
+// ranges. It is the sharded analog of TryStealRest, used by the AID-static
+// last-thread assignment so SF rounding never orphans work.
 func (ws *ShardedWorkShare) DrainAll(home int) (rs []Range, accesses int) {
 	for {
 		seq := ws.seq.Load()
@@ -550,9 +618,17 @@ func (ws *ShardedWorkShare) DrainAll(home int) (rs []Range, accesses int) {
 		for _, si := range g.byType[ht] {
 			order = append(order, int(si))
 		}
+		maxD := 0
 		for i := range g.shards {
-			if int(g.shards[i].owner) != ht {
-				order = append(order, i)
+			if d := ws.distOf(ht, int(g.shards[i].owner)); d > maxD {
+				maxD = d
+			}
+		}
+		for d := 0; d <= maxD; d++ {
+			for i := range g.shards {
+				if o := int(g.shards[i].owner); o != ht && ws.distOf(ht, o) == d {
+					order = append(order, i)
+				}
 			}
 		}
 		for _, i := range order {
@@ -564,7 +640,7 @@ func (ws *ShardedWorkShare) DrainAll(home int) (rs []Range, accesses int) {
 				}
 				accesses++
 				if s.next.CompareAndSwap(cur, s.end) {
-					rs = append(rs, Range{Lo: cur, Hi: s.end})
+					rs = append(rs, Range{Lo: cur, Hi: s.end, From: s.owner})
 					break
 				}
 			}

@@ -70,6 +70,7 @@ type Result struct {
 // grant is one scripted scheduler reply.
 type grant struct {
 	lo, hi       int64
+	origin       int
 	poolAccesses int
 	timestamps   int
 	retire       bool
@@ -98,7 +99,8 @@ func (s *scriptSched) Next(tid int, _ int64) (core.Assign, bool) {
 	}
 	s.pos[tid] = i + 1
 	g := q[i]
-	asg := core.Assign{Lo: g.lo, Hi: g.hi, PoolAccesses: g.poolAccesses, Timestamps: g.timestamps}
+	asg := core.Assign{Lo: g.lo, Hi: g.hi, Origin: g.origin,
+		PoolAccesses: g.poolAccesses, Timestamps: g.timestamps}
 	return asg, !g.retire
 }
 
@@ -202,7 +204,8 @@ func scriptsOf(rec *trace.Record) (scheds []*scriptSched, visit [][]int) {
 	for _, ev := range evs {
 		s := scheds[ev.Loop]
 		s.perThread[ev.Tid] = append(s.perThread[ev.Tid], grant{
-			lo: ev.Lo, hi: ev.Hi, poolAccesses: ev.PoolAccesses,
+			lo: ev.Lo, hi: ev.Hi, origin: ev.Origin,
+			poolAccesses: ev.PoolAccesses,
 			timestamps: ev.Timestamps, retire: ev.Retire,
 		})
 		visit[ev.Tid] = append(visit[ev.Tid], ev.Loop)

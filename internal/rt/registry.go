@@ -190,12 +190,15 @@ func (r *Registry) InFlight() int {
 func (r *Registry) now() int64 { return int64(time.Since(r.base)) }
 
 // loopInfo builds the scheduler-facing description of a loop on this fleet.
+// The platform's cluster-distance matrix rides along so sharded pools steal
+// from the topologically nearest victim.
 func (r *Registry) loopInfo(n int64) core.LoopInfo {
 	return core.LoopInfo{
 		NI:       n,
 		NThreads: r.nthreads,
 		NumTypes: len(r.platform.Clusters),
 		TypeOf:   r.typeOf,
+		TypeDist: r.platform.TypeDist(),
 	}
 }
 
@@ -607,7 +610,8 @@ func (r *Registry) worker(tid int) {
 					tp := &l.capture[tid].WorkerTape
 					tp.Intervals = append(tp.Intervals, trace.Interval{Start: nowNs, End: schedEnd, State: trace.Sched})
 					tp.Events = append(tp.Events, trace.ChunkEvent{Seq: wseq, TimeNs: nowNs,
-						Tid: tid, Shard: r.types[tid], PoolAccesses: asg.PoolAccesses,
+						Tid: tid, Shard: r.types[tid], Origin: asg.Origin,
+						PoolAccesses: asg.PoolAccesses,
 						Timestamps: asg.Timestamps, Retire: true})
 					wseq++
 					cell.finishNs = schedEnd
@@ -632,7 +636,8 @@ func (r *Registry) worker(tid int) {
 				trace.Interval{Start: nowNs, End: schedEnd, State: trace.Sched},
 				trace.Interval{Start: schedEnd, End: end, State: trace.Running})
 			tp.Events = append(tp.Events, trace.ChunkEvent{Seq: wseq, TimeNs: nowNs,
-				Tid: tid, Lo: asg.Lo, Hi: asg.Hi, Shard: r.types[tid], ExecNs: end - schedEnd,
+				Tid: tid, Lo: asg.Lo, Hi: asg.Hi, Shard: r.types[tid], Origin: asg.Origin,
+				ExecNs: end - schedEnd,
 				PoolAccesses: asg.PoolAccesses, Timestamps: asg.Timestamps})
 			wseq++
 		}

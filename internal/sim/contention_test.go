@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/core"
+)
+
+// TestContendersPerShard pins the occupancy semantics of the contention
+// charge: only threads engaged on the origin shard's line count, a foreign
+// accessor adds itself to that population, and a shared origin (Origin < 0)
+// contends with the whole active set.
+func TestContendersPerShard(t *testing.T) {
+	byType := []int{3, 2} // 3 big-homed threads active, 2 little-homed
+	total := 5
+	cases := []struct {
+		name            string
+		ownType, origin int
+		want            int
+	}{
+		{"home shard, 3 residents", 0, 0, 2},
+		{"home shard, 2 residents", 1, 1, 1},
+		{"foreign access adds the claimer", 0, 1, 2}, // 2 residents + self, minus self
+		{"shared origin charges the fleet", 0, core.OriginShared, 4},
+		{"out-of-range origin charges the fleet", 0, 7, 4},
+	}
+	for _, c := range cases {
+		if got := contenders(byType, total, c.ownType, c.origin); got != c.want {
+			t.Errorf("%s: contenders=%d, want %d", c.name, got, c.want)
+		}
+	}
+	// A lone accessor on an otherwise idle shard pays nothing, whether it
+	// owns the shard or reached across to it.
+	if got := contenders([]int{1, 0}, 1, 0, 0); got != 0 {
+		t.Errorf("lone home accessor: contenders=%d, want 0", got)
+	}
+	if got := contenders([]int{0, 1}, 1, 1, 0); got != 0 {
+		t.Errorf("foreign access to empty shard: contenders=%d, want 0", got)
+	}
+}
+
+// TestLocalityTiers pins the provenance-tiered cold-chunk penalty: home
+// shard pays the base penalty, a same-package foreign shard the foreign
+// tier, a cross-package shard the remote tier, and a shared origin the base.
+func TestLocalityTiers(t *testing.T) {
+	ov := amp.Overheads{LocalityPenaltyNs: 100, LocalityForeignNs: 150, LocalityRemoteNs: 250}
+	dist := [][]int{{0, 1, 2}, {1, 0, 2}, {2, 2, 0}}
+	if got := localityNs(ov, dist, 0, 0); got != 100 {
+		t.Errorf("home tier: %v, want 100", got)
+	}
+	if got := localityNs(ov, dist, 0, 1); got != 150 {
+		t.Errorf("same-package tier: %v, want 150", got)
+	}
+	if got := localityNs(ov, dist, 0, 2); got != 250 {
+		t.Errorf("cross-package tier: %v, want 250", got)
+	}
+	if got := localityNs(ov, dist, 1, core.OriginShared); got != 100 {
+		t.Errorf("shared origin: %v, want 100", got)
+	}
+}
+
+// TestQuietFleetZeroContention is the regression test for the parked-worker
+// contention bug: a worker idle-forwarding toward a future arrival touches
+// no pool line and must not be charged as a contender on anyone else's
+// loop. Running loop A alone and running it next to a loop that arrives
+// long after A finishes must produce bit-identical results for A — the old
+// fleet-wide charge (liveWorkers-1) inflated A's tail, because workers
+// retired from A stayed "live" while parked against B's arrival.
+func TestQuietFleetZeroContention(t *testing.T) {
+	cfg := multiCfg(4)
+	loopA := uniformSpec("a", 4096, 1)
+	solo, err := RunLoops(cfg, []LoopSpec{loopA}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B arrives long after A's barrier has released: every worker spends
+	// A's entire tail parked (curLoop == -1) in the two-tenant run.
+	loopB := uniformSpec("b", 4096, 1)
+	loopB.Arrive = solo[0].End * 10
+	both, err := RunLoops(cfg, []LoopSpec{loopA, loopB}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := solo[0], both[0]
+	if a.SchedNs != b.SchedNs {
+		t.Errorf("parked fleet changed loop A's SchedNs: solo %d, with quiet tenant %d", a.SchedNs, b.SchedNs)
+	}
+	if a.End != b.End {
+		t.Errorf("parked fleet changed loop A's End: solo %d, with quiet tenant %d", a.End, b.End)
+	}
+	if a.PoolAccesses != b.PoolAccesses {
+		t.Errorf("parked fleet changed loop A's PoolAccesses: solo %d vs %d", a.PoolAccesses, b.PoolAccesses)
+	}
+	if !reflect.DeepEqual(a.Iters, b.Iters) {
+		t.Errorf("parked fleet changed loop A's per-thread iterations:\nsolo %v\nboth %v", a.Iters, b.Iters)
+	}
+	if !reflect.DeepEqual(a.Finish, b.Finish) {
+		t.Errorf("parked fleet changed loop A's per-thread finish times:\nsolo %v\nboth %v", a.Finish, b.Finish)
+	}
+}
+
+// TestPerShardContentionBound pins that the contention charge scales with
+// the shard population, not the fleet: on Platform A (two clusters of four)
+// a dynamic schedule's home claims collide with at most 3 other threads, so
+// zeroing ContentionNs must recover far less than the fleet-wide model's
+// 7 x ContentionNs x accesses.
+func TestPerShardContentionBound(t *testing.T) {
+	base := amp.PlatformA().Overhead.ContentionNs
+	mk := func(contention float64) LoopResult {
+		p := amp.PlatformA() // fresh instance: presets return pointers
+		p.Overhead.ContentionNs = contention
+		res, err := RunLoop(Config{
+			Platform: p,
+			NThreads: 8,
+			Binding:  amp.BindBS,
+			Factory: func(info core.LoopInfo) (core.Scheduler, error) {
+				return core.NewDynamic(info, 8)
+			},
+		}, uniformSpec("bound", 8192, 1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with := mk(base)
+	without := mk(0)
+	delta := float64(with.SchedNs - without.SchedNs)
+	if delta <= 0 {
+		t.Fatalf("contention added nothing: SchedNs %d vs %d", with.SchedNs, without.SchedNs)
+	}
+	// Upper bound under the old fleet-wide model, computed over the larger
+	// of the two access counts (timing shifts can change claim counts).
+	acc := with.PoolAccesses
+	if without.PoolAccesses > acc {
+		acc = without.PoolAccesses
+	}
+	fleetWide := 7 * base * float64(acc)
+	// Per-shard occupancy caps the charge at 3 (home) or 4 (cross-cluster)
+	// contenders; allow the cross-cluster worst case plus slack for claim-
+	// count drift, which still sits well below the fleet-wide bill.
+	if delta >= fleetWide*0.75 {
+		t.Errorf("contention delta %v not materially below fleet-wide bound %v", delta, fleetWide)
+	}
+}

@@ -154,6 +154,34 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 	}
 	liveWorkers := nt
 
+	// engaged[li][t] counts the workers currently scheduling loop li from
+	// home core type t (engagedTotal[li] across all types) — the population
+	// of loop li's pool lines, which is what a pool access on that loop
+	// contends with. A parked worker (idle-forwarding to a future arrival)
+	// and workers busy on OTHER loops touch none of li's lines and are not
+	// counted. setCur keeps the counts in step with curLoop transitions.
+	engaged := make([][]int, nl)
+	for li := range engaged {
+		engaged[li] = make([]int, len(pl.Clusters))
+	}
+	engagedTotal := make([]int, nl)
+	dist := pl.TypeDist()
+	setCur := func(tid, li int) {
+		prev := curLoop[tid]
+		if prev == li {
+			return
+		}
+		if prev >= 0 {
+			engaged[prev][typeOf[tid]]--
+			engagedTotal[prev]--
+		}
+		if li >= 0 {
+			engaged[li][typeOf[tid]]++
+			engagedTotal[li]++
+		}
+		curLoop[tid] = li
+	}
+
 	cands := make([]fair.Candidate, 0, nl)
 	candLoop := make([]int, 0, nl)
 	for liveWorkers > 0 {
@@ -201,7 +229,7 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 					}
 				}
 				clock[tid] = next
-				curLoop[tid] = -1
+				setCur(tid, -1)
 				burstLeft[tid] = 0
 				continue
 			}
@@ -213,7 +241,7 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 				burst = 1
 			}
 			li = candLoop[idx]
-			curLoop[tid] = li
+			setCur(tid, li)
 			burstLeft[tid] = burst
 			grantArrived[tid] = arrived
 		}
@@ -223,21 +251,29 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 		res := &results[li]
 		// Charge the runtime-call overhead whether or not work was handed
 		// out (the final empty call still costs a pool access). Contention
-		// scales with the whole live fleet: every worker hits some loop's
-		// pool, and the interconnect does not care which.
-		ovhNs := float64(asg.PoolAccesses)*(ov.PoolAccessNs+ov.ContentionNs*float64(liveWorkers-1)) +
+		// is charged by the occupancy of the accessed shard's line among
+		// the workers engaged on THIS loop — a worker parked against a
+		// future arrival, or busy on another loop's pool, contends with
+		// nobody here.
+		contend := contenders(engaged[li], engagedTotal[li], typeOf[tid], asg.Origin)
+		ovhNs := float64(asg.PoolAccesses)*(ov.PoolAccessNs+ov.ContentionNs*float64(contend)) +
 			float64(asg.Timestamps)*ov.TimestampNs
 		res.PoolAccesses += int64(asg.PoolAccesses)
 		if !ok {
 			end := now + int64(ovhNs)
 			if cfg.Recorder != nil {
 				cfg.Recorder.Chunk(trace.ChunkEvent{TimeNs: now, Tid: tid, Loop: li,
-					Shard: pl.ClusterOf(coreOf[tid]), PoolAccesses: asg.PoolAccesses,
+					Shard: pl.ClusterOf(coreOf[tid]), Origin: asg.Origin,
+					PoolAccesses: asg.PoolAccesses,
 					Timestamps: asg.Timestamps, Retire: true})
 			}
 			res.SchedNs += int64(ovhNs)
 			res.Finish[tid] = end
 			clock[tid] = end
+			// The worker is done scheduling this loop; drop it from the
+			// engaged counts now (not at the next policy grant) so a fully
+			// retired worker cannot leak an engaged slot forever.
+			setCur(tid, -1)
 			retired[li][tid] = true
 			nretired[li]++
 			pending[tid]--
@@ -269,9 +305,11 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 			continue
 		}
 		// Locality penalty: a chunk that does not extend the thread's
-		// previous one in this loop lands cold in the cache (§2).
+		// previous one in this loop lands cold in the cache (§2), and the
+		// miss cost is tiered by how far the chunk's home pool line sits
+		// from the consuming core (home / same-package / cross-package).
 		if asg.Lo != lastHi[li][tid] {
-			ovhNs += ov.LocalityPenaltyNs
+			ovhNs += localityNs(ov, dist, typeOf[tid], asg.Origin)
 		}
 		lastHi[li][tid] = asg.Hi
 
@@ -279,8 +317,9 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 		execNs := units / speed[li][tid]
 		if cfg.Recorder != nil {
 			cfg.Recorder.Chunk(trace.ChunkEvent{TimeNs: now, Tid: tid, Loop: li,
-				Lo: asg.Lo, Hi: asg.Hi, Shard: pl.ClusterOf(coreOf[tid]), Cost: units,
-				ExecNs: int64(execNs), PoolAccesses: asg.PoolAccesses, Timestamps: asg.Timestamps})
+				Lo: asg.Lo, Hi: asg.Hi, Shard: pl.ClusterOf(coreOf[tid]), Origin: asg.Origin,
+				Cost: units, ExecNs: int64(execNs), PoolAccesses: asg.PoolAccesses,
+				Timestamps: asg.Timestamps})
 		}
 		res.SchedNs += int64(ovhNs)
 		res.Iters[tid] += asg.N()

@@ -214,6 +214,15 @@ type LoopResult struct {
 	// a single point at loop start; methods that estimate nothing leave it
 	// nil.
 	SFTrajectory []SFPoint
+	// EnergyJ is the modeled energy of the loop in Joules, summed over the
+	// worker-occupied cores: each worker draws its core type's ActiveW from
+	// fork to its barrier arrival and IdleW from there to barrier release.
+	// Unoccupied cores are not charged. Filled by single-loop execution
+	// (RunLoop); the multi-loop engine leaves it zero, since fleet energy
+	// cannot be attributed to one loop.
+	EnergyJ float64
+	// ClusterEnergyJ breaks EnergyJ down by platform cluster.
+	ClusterEnergyJ []float64
 }
 
 // SFPoint is one timestamped speedup-factor-table publication.
@@ -233,7 +242,50 @@ func loopInfo(cfg Config, ni int64) core.LoopInfo {
 		TypeOf: func(tid int) int {
 			return cfg.Platform.ClusterOf(cfg.Platform.CoreOf(tid, cfg.NThreads, cfg.Binding))
 		},
+		TypeDist: cfg.Platform.TypeDist(),
 	}
+}
+
+// localityNs prices a chunk-discontinuity cache refill by the chunk's
+// provenance: a chunk from the thread's home shard refills from the home
+// cluster's LLC (base tier), a same-package foreign chunk crosses LLCs
+// (foreign tier), a cross-package chunk pays the interconnect (remote
+// tier). Shared-origin chunks (Origin < 0) have no provenance and charge
+// the base tier, the pre-topology behavior.
+func localityNs(ov amp.Overheads, dist [][]int, ownType, origin int) float64 {
+	if origin < 0 || origin >= len(dist) {
+		return ov.LocalityPenaltyNs
+	}
+	switch dist[ownType][origin] {
+	case 0:
+		return ov.LocalityPenaltyNs
+	case 1:
+		return ov.LocalityForeignNs
+	default:
+		return ov.LocalityRemoteNs
+	}
+}
+
+// contenders returns how many OTHER threads an assignment's pool accesses
+// contend with: threads actively scheduling on the origin shard's line,
+// plus the claimer itself when it reached across (a foreign access adds
+// one accessor the shard's home population does not include). A shared
+// origin (Origin < 0) contends with every active thread — a single global
+// line.
+func contenders(activeByType []int, activeCount, ownType, origin int) int {
+	var occ int
+	if origin < 0 || origin >= len(activeByType) {
+		occ = activeCount
+	} else {
+		occ = activeByType[origin]
+		if origin != ownType {
+			occ++
+		}
+	}
+	if occ <= 1 {
+		return 0
+	}
+	return occ - 1
 }
 
 // RunLoop simulates one execution of the loop starting at startNs and
@@ -284,15 +336,22 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 
 	// Pre-resolve per-thread core, cluster, speed and cluster occupancy.
 	coreOf := make([]int, cfg.NThreads)
+	typeOf := make([]int, cfg.NThreads)
 	speed := make([]float64, cfg.NThreads)
 	activeInCluster := make([]int, len(pl.Clusters))
+	// activeByType counts threads still scheduling per core type — the
+	// population of each type's pool-shard line, which is what a claim on
+	// that shard contends with.
+	activeByType := make([]int, len(pl.Clusters))
+	dist := pl.TypeDist()
 	for tid := 0; tid < cfg.NThreads; tid++ {
 		coreOf[tid] = pl.CoreOf(tid, cfg.NThreads, cfg.Binding)
-		activeInCluster[pl.ClusterOf(coreOf[tid])]++
+		typeOf[tid] = pl.ClusterOf(coreOf[tid])
+		activeInCluster[typeOf[tid]]++
+		activeByType[typeOf[tid]]++
 	}
 	for tid := 0; tid < cfg.NThreads; tid++ {
-		cl := pl.ClusterOf(coreOf[tid])
-		speed[tid] = pl.Speed(coreOf[tid], spec.Profile, activeInCluster[cl])
+		speed[tid] = pl.Speed(coreOf[tid], spec.Profile, activeInCluster[typeOf[tid]])
 	}
 
 	// Fork: every thread pays the fork half of the fork/join cost.
@@ -341,6 +400,9 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 			if oldCluster != newCluster {
 				activeInCluster[oldCluster]--
 				activeInCluster[newCluster]++
+				activeByType[oldCluster]--
+				activeByType[newCluster]++
+				typeOf[tid] = newCluster
 				// Cluster occupancies changed; refresh every thread's speed.
 				for t := 0; t < cfg.NThreads; t++ {
 					speed[t] = pl.Speed(coreOf[t], spec.Profile, activeInCluster[pl.ClusterOf(coreOf[t])])
@@ -355,8 +417,11 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 		asg, ok := sched.Next(tid, now)
 
 		// Charge the runtime-call overhead whether or not work was handed
-		// out (the final empty call still costs a pool access).
-		ovhNs := float64(asg.PoolAccesses)*(ov.PoolAccessNs+ov.ContentionNs*float64(activeCount-1)) +
+		// out (the final empty call still costs a pool access). Contention
+		// is charged by the occupancy of the accessed shard's line — the
+		// threads actually sharing it — not by the whole fleet.
+		contend := contenders(activeByType, activeCount, typeOf[tid], asg.Origin)
+		ovhNs := float64(asg.PoolAccesses)*(ov.PoolAccessNs+ov.ContentionNs*float64(contend)) +
 			float64(asg.Timestamps)*ov.TimestampNs
 		res.PoolAccesses += int64(asg.PoolAccesses)
 		if !ok {
@@ -366,19 +431,22 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 			}
 			if cfg.Recorder != nil {
 				cfg.Recorder.Chunk(trace.ChunkEvent{TimeNs: now, Tid: tid, Loop: recLoop,
-					Shard: pl.ClusterOf(coreOf[tid]), PoolAccesses: asg.PoolAccesses,
+					Shard: pl.ClusterOf(coreOf[tid]), Origin: asg.Origin,
+					PoolAccesses: asg.PoolAccesses,
 					Timestamps: asg.Timestamps, Retire: true})
 			}
 			res.SchedNs += int64(ovhNs)
 			res.Finish[tid] = end
 			active[tid] = false
 			activeCount--
+			activeByType[typeOf[tid]]--
 			continue
 		}
 		// Locality penalty: a chunk that does not extend the thread's
-		// previous one lands cold in the cache (§2).
+		// previous one lands cold in the cache (§2), at a price tiered by
+		// the chunk's provenance.
 		if asg.Lo != lastHi[tid] {
-			ovhNs += ov.LocalityPenaltyNs
+			ovhNs += localityNs(ov, dist, typeOf[tid], asg.Origin)
 		}
 		lastHi[tid] = asg.Hi
 
@@ -392,8 +460,9 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 		}
 		if cfg.Recorder != nil {
 			cfg.Recorder.Chunk(trace.ChunkEvent{TimeNs: now, Tid: tid, Loop: recLoop,
-				Lo: asg.Lo, Hi: asg.Hi, Shard: pl.ClusterOf(coreOf[tid]), Cost: units,
-				ExecNs: int64(execNs), PoolAccesses: asg.PoolAccesses, Timestamps: asg.Timestamps})
+				Lo: asg.Lo, Hi: asg.Hi, Shard: pl.ClusterOf(coreOf[tid]), Origin: asg.Origin,
+				Cost: units, ExecNs: int64(execNs), PoolAccesses: asg.PoolAccesses,
+				Timestamps: asg.Timestamps})
 		}
 		res.SchedNs += int64(ovhNs)
 		res.Iters[tid] += asg.N()
@@ -423,6 +492,16 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 		}
 	}
 	res.SchedNs += joinNs
+	// Energy: each worker's core draws ActiveW until the worker reaches the
+	// barrier and IdleW while it waits for release.
+	res.ClusterEnergyJ = make([]float64, len(pl.Clusters))
+	for tid := 0; tid < cfg.NThreads; tid++ {
+		ct := &pl.Clusters[typeOf[tid]].Type
+		j := (float64(res.Finish[tid]-res.Start)*ct.ActiveW +
+			float64(res.End-res.Finish[tid])*ct.IdleW) * 1e-9
+		res.ClusterEnergyJ[typeOf[tid]] += j
+		res.EnergyJ += j
+	}
 	if cfg.Recorder != nil {
 		if res.SFEstimate != nil {
 			cfg.Recorder.SFSample(trace.SFSample{TimeNs: res.End, Loop: recLoop,

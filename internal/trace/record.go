@@ -153,6 +153,12 @@ type ChunkEvent struct {
 	// Shard is the core-type shard the grant was served from (the
 	// thread's home cluster at grant time).
 	Shard int `json:"shard"`
+	// Origin is the chunk's provenance as the scheduler reported it: the
+	// owner core type of the shard the iterations were claimed from, or
+	// core.OriginShared (-1) for central single-shard pools. Replayed
+	// verbatim so the per-shard contention and provenance-tiered locality
+	// charges match the original run.
+	Origin int `json:"origin,omitempty"`
 	// Cost is the chunk's work in abstract units (the simulator's
 	// RangeUnits; derived from ExecNs and the speed model under rt).
 	Cost float64 `json:"cost,omitempty"`

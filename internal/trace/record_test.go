@@ -135,6 +135,7 @@ func randomRecord(rng *rand.Rand) *Record {
 			Tid:          rng.Intn(nThreads),
 			Loop:         rng.Intn(nLoops),
 			Shard:        rng.Intn(3),
+			Origin:       rng.Intn(4) - 1, // includes OriginShared (-1)
 			PoolAccesses: rng.Intn(4),
 			Timestamps:   rng.Intn(2),
 		}
