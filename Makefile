@@ -21,13 +21,20 @@
 #                  Validate rejections in internal/amp, the exactly-once
 #                  conformance harness over every named platform, and the
 #                  sim-vs-rt cross-engine equivalence on the new presets
+#   make obs-check - the flight-recorder gates: the internal/obs suite
+#                  (counter cells, Prometheus rendering, analyzer, the
+#                  byte-deterministic chrome export), the engine wiring
+#                  tests in rt and sim, the histogram-vs-reservoir
+#                  cross-check, aidserve's metrics endpoint and per-class
+#                  shed attribution, and aidstat's committed golden fixture
 #   make bench   - the full benchmark harness (figures + micro-benchmarks)
 #   make bench-short - benchmarks compiled and run once per case (smoke);
 #                  regenerates BENCH_multiloop.json from the registry
 #                  throughput rows, BENCH_hotpath.json (with -benchmem
-#                  allocation columns) from the claim hot-path rows, and
-#                  BENCH_zoo.json (per-platform makespan + energy rows) via
-#                  cmd/benchjson. Artifacts are written temp-then-rename, so
+#                  allocation columns) from the claim hot-path rows,
+#                  BENCH_zoo.json (per-platform makespan + energy rows), and
+#                  BENCH_obs.json (the metrics=on/off hot-path overhead rows)
+#                  via cmd/benchjson. Artifacts are written temp-then-rename, so
 #                  a failed run never leaves a stale capture or a truncated
 #                  JSON behind; a pre-existing BENCH_hotpath.json doubles as
 #                  the allocs/op baseline the fresh run must not regress.
@@ -45,9 +52,9 @@ REPLAYTMP := .replaytmp
 BENCHTMP := .benchtmp
 SERVETMP := .servetmp
 
-.PHONY: ci vet build test race race-multiloop replay-determinism alloc-check zoo-check bench bench-short serve-smoke bench-check
+.PHONY: ci vet build test race race-multiloop replay-determinism alloc-check zoo-check obs-check bench bench-short serve-smoke bench-check
 
-ci: vet build race race-multiloop replay-determinism alloc-check zoo-check bench-short serve-smoke bench-check
+ci: vet build race race-multiloop replay-determinism alloc-check zoo-check obs-check bench-short serve-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -79,7 +86,7 @@ replay-determinism:
 # instrumentation allocates; the tests skip themselves under -race), and
 # with -count=1 so a cached pass cannot mask a fresh regression.
 alloc-check:
-	$(GO) test -count=1 -run 'Allocs|Layout' ./internal/pool/ ./internal/core/ ./internal/rt/
+	$(GO) test -count=1 -run 'Allocs|Layout' ./internal/pool/ ./internal/core/ ./internal/rt/ ./internal/obs/
 
 # The zoo gates run with -count=1 so a cached pass cannot mask a fresh
 # regression in a preset or the codec.
@@ -87,6 +94,15 @@ zoo-check:
 	$(GO) test -count=1 -run 'PlatformJSON|LoadFile|ValidateRejections|ZooPresets|ZooTopologies|ClusterDist' ./internal/amp/
 	$(GO) test -count=1 -run 'ZooConformance' ./internal/core/
 	$(GO) test -count=1 -run 'CrossEngineZoo' ./internal/rt/
+
+# The flight-recorder gates run with -count=1 (the golden-fixture and
+# determinism assertions must re-run, not replay from the test cache).
+obs-check:
+	$(GO) test -count=1 ./internal/obs/
+	$(GO) test -count=1 -run 'Metrics' ./internal/rt/ ./internal/sim/
+	$(GO) test -count=1 -run 'Histogram' ./internal/stats/
+	$(GO) test -count=1 -run 'MetricsEndpoint|ShedAttribution' ./cmd/aidserve/
+	$(GO) test -count=1 ./cmd/aidstat/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -125,6 +141,13 @@ bench-short:
 	mv BENCH_zoo.json.part BENCH_zoo.json
 	rm -f $(BENCHTMP)
 	$(GO) test -short -run=XXX -bench='BenchmarkReplay(Exact|WhatIf)' -benchtime=5x ./internal/replay/
+	$(GO) test -short -run=XXX -bench=BenchmarkMetricsOverhead -benchtime=100000x -benchmem ./internal/rt/ > $(BENCHTMP).part
+	mv $(BENCHTMP).part $(BENCHTMP)
+	cat $(BENCHTMP)
+	$(GO) run ./cmd/benchjson -o BENCH_obs.json.part $(BENCHTMP)
+	$(GO) run ./cmd/benchjson -check BENCH_obs.json.part
+	mv BENCH_obs.json.part BENCH_obs.json
+	rm -f $(BENCHTMP)
 
 # The service smoke runs short enough for CI but long enough to admit a
 # few hundred loops; the real run's -record path also proves the sampled
@@ -148,3 +171,4 @@ bench-check:
 	$(GO) run ./cmd/benchjson -check BENCH_hotpath.json -baseline BENCH_hotpath.json
 	$(GO) run ./cmd/benchjson -check BENCH_serve.json
 	$(GO) run ./cmd/benchjson -check BENCH_zoo.json
+	$(GO) run ./cmd/benchjson -check BENCH_obs.json

@@ -26,6 +26,8 @@
 //	aidserve -arrivals poisson -sample 8 -record run.jsonl
 //	                                           # sampled capture -> run record
 //	aidserve -arrivals poisson -bench          # benchjson-compatible lines
+//	aidserve -arrivals poisson -metrics :9090 -metrics-interval 500ms
+//	                                           # live Prometheus scrape + stderr ticker
 //
 // Real mode runs goroutine workers with emulated asymmetry and reports
 // wall-clock numbers; -virtual replays the identical submission pattern in
@@ -34,9 +36,12 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -47,6 +52,7 @@ import (
 	"repro/internal/amp"
 	"repro/internal/arrival"
 	"repro/internal/fair"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/rt"
 	"repro/internal/sim"
@@ -77,6 +83,8 @@ func main() {
 	sampleHead := flag.Int("sample-head", 0, "head-retention share of -sample-budget (0 = half)")
 	recordPath := flag.String("record", "", "write the sampled run record as JSONL to this path (real mode, needs -sample)")
 	bench := flag.Bool("bench", false, "also emit benchjson-compatible Benchmark lines")
+	metricsAddr := flag.String("metrics", "", "serve live runtime metrics in Prometheus text format on this address (real mode, e.g. :9090)")
+	metricsInterval := flag.Duration("metrics-interval", 0, "print a one-line service summary to stderr at this period (real mode, 0 = off)")
 	flag.Parse()
 
 	pl, err := amp.Resolve(*platformText)
@@ -90,6 +98,7 @@ func main() {
 			classesCSV: *classesCSV, maxPending: *maxPending, shed: *shed,
 			sampleEvery: *sample, sampleBudget: *sampleBudget, sampleHead: *sampleHead,
 			recordPath: *recordPath, bench: *bench,
+			metricsAddr: *metricsAddr, metricsInterval: *metricsInterval,
 			iters: *iters, threads: *threads, pl: pl, schedText: *schedText,
 			policyName: *policyName, spin: *spin, virtual: *virtual,
 		}, os.Stdout)
@@ -317,6 +326,9 @@ type serveOpts struct {
 	recordPath   string
 	bench        bool
 
+	metricsAddr     string        // Prometheus endpoint address ("" = off)
+	metricsInterval time.Duration // stderr summary period (0 = off)
+
 	iters      int64
 	threads    int
 	pl         *amp.Platform
@@ -326,39 +338,108 @@ type serveOpts struct {
 	virtual    bool
 }
 
-// classTally is one QoS class's latency account.
+// classTally is one QoS class's account: a mergeable log-bucketed latency
+// histogram (so a live scrape and the end-of-run report read the same
+// quantiles, within the histogram's error bound) and the class's shed count
+// — sheds are attributed by arrival index, so a full queue charges the
+// class whose request was turned away.
 type classTally struct {
 	class fair.Class
-	res   *stats.Reservoir
+	hist  *stats.Histogram
+	shed  int64
 }
 
 // serveSummary is one service run's outcome, separated from printing so
-// tests can assert on it directly.
+// tests can assert on it directly. mu guards every mutable field against
+// the live metrics scrapers; the submitter and completion goroutines take
+// it for each update.
 type serveSummary struct {
 	engine      string
 	arrivals    string
+	mu          sync.Mutex
 	admitted    int64
 	shed        int64
 	maxInFlight int
 	elapsed     time.Duration
 	classes     []*classTally
-	overall     *stats.Reservoir
+	overall     *stats.Histogram
 	record      *trace.Record // sampled captures, when -sample is on
 }
 
-func newServeSummary(engine, arrivals string, classes []fair.Class, seed uint64) *serveSummary {
+func newServeSummary(engine, arrivals string, classes []fair.Class) *serveSummary {
 	s := &serveSummary{
 		engine:   engine,
 		arrivals: arrivals,
-		overall:  stats.NewReservoir(0, seed),
+		overall:  stats.NewHistogram(),
 	}
-	for i, c := range classes {
+	for _, c := range classes {
 		s.classes = append(s.classes, &classTally{
 			class: c,
-			res:   stats.NewReservoir(0, seed+uint64(i)+1),
+			hist:  stats.NewHistogram(),
 		})
 	}
 	return s
+}
+
+// writeMetrics renders one scrape: the registry's runtime counters (when
+// metrics are on), the service's admission counters, and the per-class
+// latency summaries. The body is built under the summary lock and written
+// out in one piece, so a slow scraper never stalls the submitter.
+func (s *serveSummary) writeMetrics(w io.Writer, reg *rt.Registry) error {
+	var buf bytes.Buffer
+	if reg != nil && reg.MetricsEnabled() {
+		if err := obs.WritePrometheus(&buf, "", reg.MetricsSnapshot()); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	e := &bufErr{buf: &buf}
+	e.printf("# HELP aidserve_admitted_total Loops admitted to the registry.\n# TYPE aidserve_admitted_total counter\naidserve_admitted_total %d\n", s.admitted)
+	e.printf("# HELP aidserve_shed_total Arrivals shed by QoS class.\n# TYPE aidserve_shed_total counter\n")
+	for _, c := range s.classes {
+		e.printf("aidserve_shed_total{class=%q} %d\n", c.class.Name, c.shed)
+	}
+	if e.err == nil {
+		for i, c := range s.classes {
+			if e.err = obs.WriteLatencySummary(&buf, "aidserve_latency_ns", c.class.Name, c.hist, i == 0); e.err != nil {
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// bufErr is a tiny sticky-error printf over a buffer.
+type bufErr struct {
+	buf *bytes.Buffer
+	err error
+}
+
+func (e *bufErr) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.buf, format, args...)
+	}
+}
+
+// progressLine prints the periodic one-line stderr summary of a live run.
+func (s *serveSummary) progressLine(w io.Writer, inFlight int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.overall.Count() == 0 {
+		fmt.Fprintf(w, "aidserve: admitted %d, shed %d, in-flight %d, no completions yet\n",
+			s.admitted, s.shed, inFlight)
+		return
+	}
+	p50, _ := s.overall.Percentile(50)
+	p95, _ := s.overall.Percentile(95)
+	p99, _ := s.overall.Percentile(99)
+	fmt.Fprintf(w, "aidserve: admitted %d, shed %d, in-flight %d, p50/p95/p99 %v / %v / %v\n",
+		s.admitted, s.shed, inFlight, durNs(p50), durNs(p95), durNs(p99))
 }
 
 func serve(o serveOpts, w io.Writer) error {
@@ -385,6 +466,9 @@ func serve(o serveOpts, w io.Writer) error {
 	}
 	if o.recordPath != "" && (o.virtual || o.sampleEvery <= 0) {
 		return fmt.Errorf("-record needs real mode with -sample > 0")
+	}
+	if o.virtual && (o.metricsAddr != "" || o.metricsInterval > 0) {
+		return fmt.Errorf("-metrics and -metrics-interval need real mode; the virtual engine has no live run to scrape")
 	}
 	var sum *serveSummary
 	if o.virtual {
@@ -421,17 +505,39 @@ func serveReal(o serveOpts, classes []fair.Class, sched rt.Schedule, policy fair
 	if err != nil {
 		return nil, err
 	}
-	reg, err := rt.NewRegistry(rt.RegistryConfig{Platform: o.pl, NThreads: o.threads, Policy: policy})
+	reg, err := rt.NewRegistry(rt.RegistryConfig{Platform: o.pl, NThreads: o.threads, Policy: policy, Metrics: true})
 	if err != nil {
 		return nil, err
 	}
 	defer reg.Close()
 
-	sum := newServeSummary("real", proc.Name(), classes, o.seed)
+	sum := newServeSummary("real", proc.Name(), classes)
+	if o.metricsAddr != "" {
+		stop, err := serveMetrics(o.metricsAddr, reg, sum)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+	}
+	if o.metricsInterval > 0 {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			tick := time.NewTicker(o.metricsInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					sum.progressLine(os.Stderr, reg.InFlight())
+				}
+			}
+		}()
+	}
 	sem := make(chan struct{}, o.maxPending)
 	var (
 		wg      sync.WaitGroup
-		mu      sync.Mutex // guards the reservoirs
 		sink    atomic.Int64
 		sampled []*rt.Loop
 	)
@@ -456,20 +562,31 @@ func serveReal(o serveOpts, classes []fair.Class, sched rt.Schedule, policy fair
 		}
 		time.Sleep(gap)
 
+		// The class is the arrival's, chosen by arrival index — shed or
+		// admitted, request i belongs to the same tenant. Assigning by
+		// admission count (as this used to) made the shed count
+		// unattributable: nobody could say which class the full queue
+		// turned away.
+		tally := sum.classes[i%len(classes)]
 		if o.shed {
 			select {
 			case sem <- struct{}{}:
 			default:
+				sum.mu.Lock()
 				sum.shed++
+				tally.shed++
+				sum.mu.Unlock()
 				continue
 			}
 		} else {
 			sem <- struct{}{}
 		}
+		sum.mu.Lock()
 		if inflight := reg.InFlight(); inflight > sum.maxInFlight {
 			sum.maxInFlight = inflight
 		}
-		tally := sum.classes[int(sum.admitted)%len(classes)]
+		admitted := sum.admitted
+		sum.mu.Unlock()
 		req := rt.LoopRequest{
 			Name:     fmt.Sprintf("%s-%d", tally.class.Name, i),
 			N:        o.iters,
@@ -477,7 +594,7 @@ func serveReal(o serveOpts, classes []fair.Class, sched rt.Schedule, policy fair
 			Weight:   tally.class.Weight,
 			Body:     body,
 		}
-		if o.sampleEvery > 0 && int(sum.admitted)%o.sampleEvery == 0 {
+		if o.sampleEvery > 0 && int(admitted)%o.sampleEvery == 0 {
 			req.Capture = true
 			req.CaptureCompact = true
 			req.CaptureMaxEvents = o.sampleBudget
@@ -488,7 +605,9 @@ func serveReal(o serveOpts, classes []fair.Class, sched rt.Schedule, policy fair
 			<-sem
 			return nil, err
 		}
+		sum.mu.Lock()
 		sum.admitted++
+		sum.mu.Unlock()
 		if req.Capture {
 			sampled = append(sampled, h)
 		}
@@ -497,10 +616,10 @@ func serveReal(o serveOpts, classes []fair.Class, sched rt.Schedule, policy fair
 			defer wg.Done()
 			h.Wait()
 			lat := float64(h.Latency())
-			mu.Lock()
+			sum.mu.Lock()
 			sum.overall.Add(lat)
-			tally.res.Add(lat)
-			mu.Unlock()
+			tally.hist.Add(lat)
+			sum.mu.Unlock()
 			<-sem
 		}()
 	}
@@ -517,6 +636,32 @@ func serveReal(o serveOpts, classes []fair.Class, sched rt.Schedule, policy fair
 		sum.record = rec
 	}
 	return sum, nil
+}
+
+// serveMetrics starts the Prometheus endpoint for a live run: GET /metrics
+// (or any path) answers with the registry's runtime counters plus the
+// service's admission and latency families. It returns a stop function that
+// closes the listener; in-flight scrapes are abandoned with the run over.
+func serveMetrics(addr string, reg *rt.Registry, sum *serveSummary) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-metrics %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: metricsHandler(reg, sum)}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "aidserve: metrics on http://%s/metrics\n", ln.Addr())
+	return func() { srv.Close() }, nil
+}
+
+// metricsHandler is the scrape handler behind -metrics, split out so tests
+// can hit it through httptest without binding a port flag.
+func metricsHandler(reg *rt.Registry, sum *serveSummary) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := sum.writeMetrics(w, reg); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 }
 
 // serveVirtual replays the same arrival stream in the discrete-event
@@ -559,11 +704,11 @@ func serveVirtual(o serveOpts, classes []fair.Class, sched rt.Schedule, policy f
 	if err != nil {
 		return nil, err
 	}
-	sum := newServeSummary("virtual", proc.Name(), classes, o.seed)
+	sum := newServeSummary("virtual", proc.Name(), classes)
 	for i, r := range results {
 		lat := float64(r.End - r.Start)
 		sum.overall.Add(lat)
-		sum.classes[i%len(classes)].res.Add(lat)
+		sum.classes[i%len(classes)].hist.Add(lat)
 	}
 	sum.admitted = int64(len(results))
 	sum.elapsed = spanOf(results)
@@ -573,17 +718,17 @@ func serveVirtual(o serveOpts, classes []fair.Class, sched rt.Schedule, policy f
 func writeServeSummary(w io.Writer, s *serveSummary) {
 	fmt.Fprintf(w, "%s serve: %s arrivals, %d admitted, %d shed, span %v\n",
 		s.engine, s.arrivals, s.admitted, s.shed, s.elapsed.Round(time.Microsecond))
-	fmt.Fprintf(w, "%8s %7s %8s %12s %12s %12s\n", "class", "weight", "count", "p50", "p95", "p99")
+	fmt.Fprintf(w, "%8s %7s %8s %8s %12s %12s %12s\n", "class", "weight", "count", "shed", "p50", "p95", "p99")
 	for _, c := range s.classes {
-		if c.res.Count() == 0 {
-			fmt.Fprintf(w, "%8s %7d %8d %12s %12s %12s\n", c.class.Name, c.class.Weight, 0, "-", "-", "-")
+		if c.hist.Count() == 0 {
+			fmt.Fprintf(w, "%8s %7d %8d %8d %12s %12s %12s\n", c.class.Name, c.class.Weight, 0, c.shed, "-", "-", "-")
 			continue
 		}
-		p50, _ := c.res.Percentile(50)
-		p95, _ := c.res.Percentile(95)
-		p99, _ := c.res.Percentile(99)
-		fmt.Fprintf(w, "%8s %7d %8d %12v %12v %12v\n",
-			c.class.Name, c.class.Weight, c.res.Count(), durNs(p50), durNs(p95), durNs(p99))
+		p50, _ := c.hist.Percentile(50)
+		p95, _ := c.hist.Percentile(95)
+		p99, _ := c.hist.Percentile(99)
+		fmt.Fprintf(w, "%8s %7d %8d %8d %12v %12v %12v\n",
+			c.class.Name, c.class.Weight, c.hist.Count(), c.shed, durNs(p50), durNs(p95), durNs(p99))
 	}
 	p50, _ := s.overall.Percentile(50)
 	p95, _ := s.overall.Percentile(95)
@@ -594,7 +739,10 @@ func writeServeSummary(w io.Writer, s *serveSummary) {
 }
 
 // writeServeBench emits the run as one benchjson-compatible Benchmark
-// line, so cmd/benchjson can fold service runs into BENCH snapshots.
+// line, so cmd/benchjson can fold service runs into BENCH snapshots. Shed
+// counts are broken out per QoS class (one `shed-<class>` column each), so
+// a snapshot pins which tenant the full queue turned away, not just how
+// often it was full.
 func writeServeBench(w io.Writer, s *serveSummary) error {
 	p50, err := s.overall.Percentile(50)
 	if err != nil {
@@ -602,9 +750,13 @@ func writeServeBench(w io.Writer, s *serveSummary) error {
 	}
 	p95, _ := s.overall.Percentile(95)
 	p99, _ := s.overall.Percentile(99)
-	fmt.Fprintf(w, "BenchmarkServe/engine=%s/arrivals=%s %d %.0f p50-ns %.0f p95-ns %.0f p99-ns %.2f loops/sec %d admitted %d shed\n",
+	fmt.Fprintf(w, "BenchmarkServe/engine=%s/arrivals=%s %d %.0f p50-ns %.0f p95-ns %.0f p99-ns %.2f loops/sec %d admitted %d shed",
 		s.engine, s.arrivals, s.admitted, p50, p95, p99,
 		float64(s.admitted)/s.elapsed.Seconds(), s.admitted, s.shed)
+	for _, c := range s.classes {
+		fmt.Fprintf(w, " %d shed-%s", c.shed, c.class.Name)
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

@@ -2,7 +2,11 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"reflect"
+	"regexp"
 	"strconv"
 	"strings"
 	"testing"
@@ -201,6 +205,150 @@ func TestServeRealSampledRecord(t *testing.T) {
 	// consistent: its self-diff is clean.
 	if rep := replay.Diff(sum.record, sum.record, 1.0); rep.Regressions > 0 {
 		t.Fatalf("sampled record fails self-diff:\n%s", rep)
+	}
+}
+
+// promExpoLine matches one Prometheus 0.0.4 exposition sample line.
+var promExpoLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? (-?[0-9.e+-]+|NaN)$`)
+
+// TestMetricsEndpoint scrapes the -metrics handler over httptest: the body
+// must be parseable exposition text, carry the runtime counter families and
+// the per-class shed counters, and report latency quantiles that agree with
+// the histograms the end-of-run report prints.
+func TestMetricsEndpoint(t *testing.T) {
+	classes, err := fair.ParseClasses("gold:8,bronze:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := newServeSummary("real", "poisson", classes)
+	for i := 1; i <= 500; i++ {
+		lat := float64(i) * 10_000
+		sum.admitted++
+		sum.overall.Add(lat)
+		sum.classes[i%2].hist.Add(lat)
+	}
+	sum.classes[1].shed = 7
+	sum.shed = 7
+
+	// A real registry with metrics on, driven through one loop so the
+	// runtime counter families are non-trivial.
+	reg, err := rt.NewRegistry(rt.RegistryConfig{Platform: amp.PlatformA(), NThreads: 4, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	h, err := reg.Submit(rt.LoopRequest{
+		N:        5000,
+		Schedule: rt.Schedule{Kind: rt.KindAIDDynamic, Chunk: 8, Major: 64},
+		Body:     func(_ int, lo, hi int64) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Wait()
+
+	srv := httptest.NewServer(metricsHandler(reg, sum))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d:\n%s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	out := string(body)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if !promExpoLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"aid_iters_total 5000",
+		"aid_workers 4",
+		"aidserve_admitted_total 500",
+		`aidserve_shed_total{class="gold"} 0`,
+		`aidserve_shed_total{class="bronze"} 7`,
+		`aidserve_latency_ns_count{class="gold"} 250`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("scrape lacks %q:\n%s", want, out)
+		}
+	}
+	// The scraped quantiles are the report's quantiles: same histogram.
+	p50, err := sum.classes[0].hist.Percentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := `aidserve_latency_ns{class="gold",quantile="0.5"} `
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			found = true
+			got, err := strconv.ParseFloat(line[len(prefix):], 64)
+			if err != nil || got != p50 {
+				t.Errorf("scraped p50 %q, histogram says %g (err %v)", line, p50, err)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no gold p50 quantile line in:\n%s", out)
+	}
+}
+
+// TestShedAttribution pins the per-class shed accounting: with the queue
+// too small for the offered load, sheds land on the class whose arrival
+// was refused, and the bench line breaks them out per class.
+func TestShedAttribution(t *testing.T) {
+	o := testServeOpts(false)
+	o.maxPending = 1
+	o.rate = 2000
+	classes, err := fair.ParseClasses(o.classesCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := rt.ParseSchedule(o.schedText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := parsePolicy(o.policyName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := serveReal(o, classes, sched, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var byClass int64
+	for _, c := range sum.classes {
+		byClass += c.shed
+	}
+	if byClass != sum.shed {
+		t.Fatalf("per-class sheds sum to %d, total says %d", byClass, sum.shed)
+	}
+	if sum.shed == 0 {
+		t.Skip("queue of 1 never filled; timing too coarse to assert attribution")
+	}
+	var b bytes.Buffer
+	if err := writeServeBench(&b, sum); err != nil {
+		t.Fatal(err)
+	}
+	line := b.String()
+	for _, c := range sum.classes {
+		want := " shed-" + c.class.Name
+		if !strings.Contains(line, want) {
+			t.Errorf("bench line lacks %q: %q", want, line)
+		}
 	}
 }
 

@@ -123,6 +123,9 @@ func NewAIDDynamic(info LoopInfo, m, M int64) (*AIDDynamic, error) {
 // Name implements Scheduler.
 func (a *AIDDynamic) Name() string { return "aid-dynamic" }
 
+// PoolReweights implements ReweightCounter.
+func (a *AIDDynamic) PoolReweights() int64 { return a.ws.Reweights() }
+
 // SetAblation disables individual design mechanisms so their contribution
 // can be quantified (the root benchmark harness exercises both):
 // disableTail removes the Fig. 5 end-of-loop switch to dynamic(m);

@@ -190,6 +190,9 @@ func (a *AIDHybrid) Name() string {
 // Pct returns the fraction distributed asymmetrically.
 func (a *AIDHybrid) Pct() float64 { return a.pct }
 
+// PoolReweights implements ReweightCounter.
+func (a *AIDHybrid) PoolReweights() int64 { return a.ws.Reweights() }
+
 // SFEstimate returns the speedup factors the scheduler derived (or was
 // given), indexed by core type, and ok=false when sampling has not finished
 // yet. Implements SFEstimator; exposed for the Fig. 9c experiment, the

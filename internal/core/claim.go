@@ -94,6 +94,8 @@ func (cs *claimState) takeCredit(ws *pool.ShardedWorkShare, home int, n int64, a
 	lo, hi, st, ok := ws.TryStealCredit(home, n, &cs.credit)
 	asg.PoolAccesses += st.Accesses
 	asg.Origin = originOf(ws, st.From)
+	asg.CreditClaimed += st.Claimed
+	asg.CreditReturned += st.Returned
 	cs.delta += st.Claimed - st.Returned
 	if !ok {
 		cs.lastN = 0

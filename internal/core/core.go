@@ -151,6 +151,14 @@ type Assign struct {
 	// Timestamps counts clock reads performed during this call (the
 	// sampling machinery of the AID methods).
 	Timestamps int
+	// CreditClaimed and CreditReturned report the batched credit path's
+	// pool traffic for this call, in iterations: Claimed is what the call
+	// newly removed from the pool (served plus banked as thread-local
+	// credit), Returned what a credit return handed back across a
+	// re-partition (pool.CreditSteal). Both zero on the strict claim paths
+	// and on thread-local credit draws — which is exactly what the
+	// observability layer counts them to see.
+	CreditClaimed, CreditReturned int64
 }
 
 // N returns the number of iterations in the assignment.

@@ -1,0 +1,57 @@
+// Package obs is the flight-recorder observability layer: always-on,
+// lock-free runtime metrics for both execution engines, plus the offline
+// analysis that turns a recorded trace.Record into per-thread utilization,
+// steal matrices and Chrome trace-event exports.
+//
+// The live half is Metrics: one cache-line-sized counter Cell per worker,
+// updated on the engines' chunk-grant hot path and scraped at any time into
+// a Snapshot (e.g. by aidserve's -metrics Prometheus endpoint). The offline
+// half is Analyze/WriteReport/ExportChrome, the cmd/aidstat backend.
+//
+// # Counter invariants
+//
+// The hot-path rules mirror pool/doc.go's "Hot-path invariants": every
+// property below is load-bearing for the zero-allocation guarantee and is
+// pinned by a layout or allocation test.
+//
+//  1. One cell per worker, one writer per cell. Cell tid is updated only by
+//     worker tid while the worker serves a loop. Because each counter has a
+//     single writer, updates are owner-side read-modify-writes expressed as
+//     atomic Load+Store pairs — plain MOV loads and stores on x86, no LOCK
+//     prefix — which keeps the metrics-on hot path within the overhead
+//     budget while staying exactly as visible to concurrent scrapers (and
+//     to the race detector) as atomic.Add would be.
+//
+//  2. Cells are exactly two cache lines (128 bytes, pinned by
+//     TestCellLayout). Neighbouring workers' per-chunk updates therefore
+//     never share a line, the same false-sharing rule the registry's
+//     workerCell and the pool's shard obey.
+//
+//  3. Updates never allocate. Cell methods touch only the cell's own
+//     fields; Snapshot (which allocates its result slices) runs on cold
+//     paths only — barrier release, endpoint scrapes, end-of-run reports.
+//     The registry's metrics-on steady state is gated at zero allocations
+//     per chunk by TestRegistryMetricsSteadyStateAllocs.
+//
+//  4. A Snapshot is per-counter monotonic, not a consistent cut. Scrapers
+//     read the cells with atomic loads while workers keep counting, so two
+//     counters in one Snapshot may be skewed by in-flight chunks; each
+//     counter individually never goes backwards between Snapshots of the
+//     same Metrics. Delta of two such snapshots is therefore always
+//     non-negative per counter.
+//
+//  5. Quiescent-merge writes are the one exception to rule 1: when a
+//     loop's barrier releases, the retiring worker folds barrier-wait idle
+//     time and the scheduler's re-partition count into cells it does not
+//     own. By then every worker has retired from the loop — the cells are
+//     quiescent — and the engines serialize the merge (the registry under
+//     its lock, the simulator on its single goroutine), so the single-
+//     writer discipline is preserved in time rather than by thread
+//     identity.
+//
+// Steals are bucketed by provenance tier — TierHome (the chunk came from
+// the worker's home shard or a shared pool), TierSamePkg (a foreign shard
+// one package hop away) and TierCross (across packages) — using the same
+// platform TypeDist matrix the simulator's tiered locality charges use, so
+// live counters and offline trace analysis agree on what "remote" means.
+package obs

@@ -150,6 +150,11 @@ type ShardedWorkShare struct {
 	// SetTopology; nil means richest-only victim selection. Written once
 	// before the pool is shared, read-only afterwards.
 	dist [][]int
+	// reweights counts published re-partitions (Reweight calls) — the
+	// observability layer's "how often did the pool re-cut" signal. It is
+	// written only by the externally-serialized re-weighter, on the cold
+	// re-partition path, so it needs no cache-line isolation of its own.
+	reweights atomic.Int64
 }
 
 // SetTopology installs a topology distance matrix for victim selection:
@@ -355,7 +360,11 @@ func (ws *ShardedWorkShare) Reweight(weights []int) {
 	}
 	ws.gen.Store(buildGeneration(rs, left, weights, total))
 	ws.seq.Add(1) // even: new generation published
+	ws.reweights.Add(1)
 }
+
+// Reweights returns how many re-partitions have been published.
+func (ws *ShardedWorkShare) Reweights() int64 { return ws.reweights.Load() }
 
 // buildGeneration cuts the collected leftover ranges at overflow-safe
 // proportional boundaries into owner-tagged shards. A type whose share

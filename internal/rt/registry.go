@@ -10,6 +10,7 @@ import (
 	"repro/internal/amp"
 	"repro/internal/core"
 	"repro/internal/fair"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -49,6 +50,14 @@ type Registry struct {
 	policy   fair.Policy
 	base     time.Time
 
+	// dist caches the platform's cluster-distance matrix for the metrics
+	// layer's provenance-tier bucketing (nil-safe; obs.Tier handles it).
+	dist [][]int
+	// metrics, when non-nil, holds the fleet-level counter cells — idle
+	// time between picks lands here; per-loop counters live on each Loop.
+	// Enabled by RegistryConfig.Metrics for the registry's lifetime.
+	metrics *obs.Metrics
+
 	// scratch holds each worker's private pick buffers (reused across
 	// picks, so the steady-state scheduling path allocates nothing).
 	scratch []pickScratch
@@ -70,6 +79,10 @@ type Registry struct {
 	nextID uint64
 	closed bool
 	wg     sync.WaitGroup
+	// retiredAgg accumulates the metrics snapshots of completed loops
+	// (guarded by mu), so MetricsSnapshot stays O(live loops), not
+	// O(all loops ever served).
+	retiredAgg obs.Snapshot
 }
 
 // RegistryConfig configures NewRegistry.
@@ -88,6 +101,13 @@ type RegistryConfig struct {
 	// loops; defaults to fair.NewWeightedRoundRobin(0). A policy instance
 	// is stateful and must not be shared between registries.
 	Policy fair.Policy
+	// Metrics enables the always-on runtime counters (internal/obs): each
+	// loop gets per-worker counter cells surfaced via LoopStats.Metrics,
+	// and Registry.MetricsSnapshot serves the live fleet-wide view. The
+	// hot path stays allocation free with metrics on (gated by
+	// TestRegistryMetricsSteadyStateAllocs); the per-chunk cost is a few
+	// single-writer counter bumps (BenchmarkMetricsOverhead pins it).
+	Metrics bool
 }
 
 // fleetParams validates and defaults the platform/thread-count/profile
@@ -152,11 +172,15 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 	for tid := 0; tid < nthreads; tid++ {
 		r.types[tid] = pl.ClusterOf(pl.CoreOf(tid, nthreads, cfg.Binding))
 	}
+	r.dist = pl.TypeDist()
 	// One type-lookup closure for the registry's lifetime: LoopInfo wants a
 	// func, and building a fresh closure per Submit is an allocation the
 	// admission path does not need.
 	types := r.types
 	r.typeOf = func(tid int) int { return types[tid] }
+	if cfg.Metrics {
+		r.metrics = obs.New(nthreads, len(pl.Clusters), r.typeOf)
+	}
 	r.scratch = make([]pickScratch, nthreads)
 	r.cond = sync.NewCond(&r.mu)
 	r.wg.Add(nthreads)
@@ -269,6 +293,12 @@ type Loop struct {
 	// type assertion plus a defensive copy.
 	sfView core.SFLiveViewer
 
+	// metrics is non-nil when the registry runs with counters enabled: the
+	// loop's per-worker cells (internal/obs), written on the hot path by
+	// single-writer bumps and merged into LoopStats.Metrics at barrier
+	// release.
+	metrics *obs.Metrics
+
 	// capture is non-nil when the loop records its execution: slot tid is
 	// a private tape appended only by worker tid (published like cells).
 	capture []paddedTape
@@ -371,6 +401,10 @@ func (r *Registry) Submit(req LoopRequest) (*Loop, error) {
 	}
 	if v, ok := sched.(core.SFLiveViewer); ok {
 		l.sfView = v
+	}
+	if r.metrics != nil {
+		l.metrics = obs.New(r.nthreads, len(r.platform.Clusters), r.typeOf)
+		l.startNs = r.now()
 	}
 	if req.CaptureMaxEvents < 0 {
 		return nil, fmt.Errorf("rt: negative capture event budget %d", req.CaptureMaxEvents)
@@ -587,16 +621,42 @@ type pickScratch struct {
 func (r *Registry) worker(tid int) {
 	defer r.wg.Done()
 	f := r.slowdown[tid]
+	myType := r.types[tid]
+	// fleet is this worker's registry-lifetime counter cell (idle time spent
+	// between loops lands here, not on any tenant); per-loop counters go to
+	// mc below. Both are nil when the registry runs without metrics, and the
+	// bump sites cost a single predictable branch each.
+	var fleet *obs.Cell
+	if r.metrics != nil {
+		fleet = r.metrics.Cell(tid)
+	}
 	// wseq totally orders this worker's captured events across loops; the
 	// wall clock alone cannot (two grants can land in the same nanosecond
 	// tick on coarse timers), and replay needs the per-worker grant order.
 	var wseq int64
 	for {
+		var pickStart int64
+		if fleet != nil {
+			pickStart = r.now()
+		}
 		l, burst, gen := r.pick(tid)
+		if fleet != nil {
+			fleet.Idle(r.now() - pickStart)
+		}
 		if l == nil {
 			return
 		}
 		cell := &l.cells[tid]
+		// mb accumulates this burst's counter deltas in plain locals and is
+		// applied to the loop's cell every flushEvery chunks and at every
+		// burst exit — the batching that keeps the metrics path inside the
+		// overhead budget (see obs.Batch).
+		var mc *obs.Cell
+		var mb obs.Batch
+		if l.metrics != nil {
+			mc = l.metrics.Cell(tid)
+		}
+		const flushEvery = 32
 		for served := 0; served < burst; served++ {
 			if r.gen.Load() != gen {
 				break // a new loop arrived: give the policy a say
@@ -605,25 +665,51 @@ func (r *Registry) worker(tid int) {
 			asg, ok := l.sched.Next(tid, nowNs)
 			cell.accesses += int64(asg.PoolAccesses)
 			if !ok {
-				if l.capture != nil {
+				if l.capture != nil || mc != nil {
 					schedEnd := r.now()
-					tp := &l.capture[tid].WorkerTape
-					tp.Intervals = append(tp.Intervals, trace.Interval{Start: nowNs, End: schedEnd, State: trace.Sched})
-					tp.Events = append(tp.Events, trace.ChunkEvent{Seq: wseq, TimeNs: nowNs,
-						Tid: tid, Shard: r.types[tid], Origin: asg.Origin,
-						PoolAccesses: asg.PoolAccesses,
-						Timestamps: asg.Timestamps, Retire: true})
-					wseq++
 					cell.finishNs = schedEnd
+					if mc != nil {
+						mb.SchedNs += schedEnd - nowNs
+						mb.CreditClaimed += asg.CreditClaimed
+						mb.CreditReturned += asg.CreditReturned
+						mc.Apply(&mb)
+					}
+					if l.capture != nil {
+						tp := &l.capture[tid].WorkerTape
+						tp.Intervals = append(tp.Intervals, trace.Interval{Start: nowNs, End: schedEnd, State: trace.Sched})
+						tp.Events = append(tp.Events, trace.ChunkEvent{Seq: wseq, TimeNs: nowNs,
+							Tid: tid, Shard: r.types[tid], Origin: asg.Origin,
+							PoolAccesses: asg.PoolAccesses,
+							Timestamps: asg.Timestamps, Retire: true})
+						wseq++
+					}
 				}
 				r.retire(l, tid)
 				break
 			}
 			cell.iters += asg.N()
+			if mc != nil {
+				mb.Grant(asg.N(), obs.Tier(r.dist, myType, asg.Origin))
+				mb.CreditClaimed += asg.CreditClaimed
+				mb.CreditReturned += asg.CreditReturned
+			}
 			if l.capture == nil {
 				start := time.Now()
+				if mc != nil {
+					// The scheduling window ends where the body clock starts;
+					// deriving it from `start` keeps the metrics path at the
+					// same three clock reads per chunk as the bare path.
+					mb.SchedNs += int64(start.Sub(r.base)) - nowNs
+				}
 				l.body(tid, asg.Lo, asg.Hi)
-				throttle(int64(time.Since(start)), f)
+				d := int64(time.Since(start))
+				throttle(d, f)
+				if mc != nil {
+					mb.BusyNs += throttledNs(d, f)
+					if mb.Chunks >= flushEvery {
+						mc.Apply(&mb)
+					}
+				}
 				continue
 			}
 			schedEnd := r.now()
@@ -631,6 +717,13 @@ func (r *Registry) worker(tid int) {
 			l.body(tid, asg.Lo, asg.Hi)
 			throttle(int64(time.Since(start)), f)
 			end := r.now()
+			if mc != nil {
+				mb.SchedNs += schedEnd - nowNs
+				mb.BusyNs += end - schedEnd
+				if mb.Chunks >= flushEvery {
+					mc.Apply(&mb)
+				}
+			}
 			tp := &l.capture[tid].WorkerTape
 			tp.Intervals = append(tp.Intervals,
 				trace.Interval{Start: nowNs, End: schedEnd, State: trace.Sched},
@@ -641,7 +734,22 @@ func (r *Registry) worker(tid int) {
 				PoolAccesses: asg.PoolAccesses, Timestamps: asg.Timestamps})
 			wseq++
 		}
+		if mc != nil {
+			// Burst exit without retirement (generation change): publish what
+			// the batch still holds before the next pick can land elsewhere.
+			mc.Apply(&mb)
+		}
 	}
+}
+
+// throttledNs is the wall-clock occupancy of a body that measured execNs of
+// its own time and was then throttled by slowdown factor f (throttle
+// busy-waits roughly execNs*(f-1) more, so the worker occupied ~execNs*f).
+func throttledNs(execNs int64, f float64) int64 {
+	if f > 1 {
+		return int64(float64(execNs) * f)
+	}
+	return execNs
 }
 
 // pick blocks until some admitted loop still wants scheduler calls from
@@ -746,11 +854,72 @@ func (r *Registry) retire(l *Loop, tid int) {
 			l.stats.SFEstimate = sf
 		}
 	}
+	if l.metrics != nil {
+		l.finishMetrics(r)
+	}
 	if l.capture != nil {
 		l.mergeCapture(r.nthreads)
 	}
 	close(l.done)
 }
+
+// finishMetrics folds the loop's counter cells into its published stats at
+// barrier release (under the registry lock, after every worker's retirement
+// — the quiescent-merge window of obs's counter invariants). Each worker's
+// barrier wait is charged as idle time against its cell, the pool's
+// reweight count is read once from the scheduler, and the snapshot is both
+// attached to LoopStats and accumulated into the registry's completed-loop
+// aggregate for MetricsSnapshot.
+func (l *Loop) finishMetrics(r *Registry) {
+	var maxFinish int64
+	for tid := range l.cells {
+		if fn := l.cells[tid].finishNs; fn > maxFinish {
+			maxFinish = fn
+		}
+	}
+	for tid := range l.cells {
+		if gap := maxFinish - l.cells[tid].finishNs; gap > 0 {
+			l.metrics.Cell(tid).Idle(gap)
+		}
+	}
+	if rc, ok := l.sched.(core.ReweightCounter); ok {
+		l.metrics.Cell(0).SetReweights(rc.PoolReweights())
+	}
+	snap := l.metrics.Snapshot()
+	l.stats.Metrics = &snap
+	// Start/end on the fleet clock; mergeCapture overwrites with the same
+	// values when the loop was also captured.
+	l.stats.StartNs = l.startNs
+	l.stats.EndNs = maxFinish
+	r.retiredAgg = r.retiredAgg.Add(snap)
+}
+
+// MetricsSnapshot returns the live fleet-wide counter view: everything the
+// completed loops retired plus a scrape of the in-flight loops' cells and
+// the fleet's own idle cells. It returns the zero Snapshot when the
+// registry was built without Metrics. Cold path: safe to call from a
+// scrape handler at any rate that tolerates taking the registry lock.
+func (r *Registry) MetricsSnapshot() obs.Snapshot {
+	if r.metrics == nil {
+		return obs.Snapshot{}
+	}
+	r.mu.Lock()
+	agg := r.retiredAgg
+	live := make([]*obs.Metrics, 0, len(r.run))
+	for _, l := range r.run {
+		if l.metrics != nil {
+			live = append(live, l.metrics)
+		}
+	}
+	r.mu.Unlock()
+	for _, m := range live {
+		agg = agg.Add(m.Snapshot())
+	}
+	return agg.Add(r.metrics.Snapshot())
+}
+
+// MetricsEnabled reports whether the registry was built with Metrics.
+func (r *Registry) MetricsEnabled() bool { return r.metrics != nil }
 
 // mergeCapture folds the per-worker tapes into the loop's stats once the
 // barrier has released (runs under the registry lock, after every worker's

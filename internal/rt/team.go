@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/amp"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -126,6 +127,10 @@ type LoopStats struct {
 	// SFEstimate is the scheduler's online per-core-type speedup-factor
 	// estimate at loop end (nil when the method derives none).
 	SFEstimate []float64
+	// Metrics is the loop's runtime-counter snapshot (chunks, steals by
+	// provenance tier, credit traffic, busy/sched/idle time) — populated
+	// only on registries built with RegistryConfig.Metrics.
+	Metrics *obs.Snapshot
 
 	// The fields below are populated only for loops submitted with
 	// LoopRequest.Capture (or run on a Team configured with Capture).

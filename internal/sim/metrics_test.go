@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/core"
+	"repro/internal/fair"
+)
+
+func aidDynamicFactory(info core.LoopInfo) (core.Scheduler, error) {
+	return core.NewAIDDynamic(info, 8, 64)
+}
+
+// TestRunLoopMetrics checks the simulator's counter wiring: totals match the
+// result's ground truth, the tier buckets partition the chunk count, barrier
+// waits land in IdleNs, and — the determinism contract — two identical runs
+// produce byte-identical snapshots.
+func TestRunLoopMetrics(t *testing.T) {
+	cfg := Config{Platform: amp.PlatformA(), NThreads: 8, Binding: amp.BindBS,
+		Factory: aidDynamicFactory, Metrics: true}
+	spec := LoopSpec{Name: "m", NI: 20000, Cost: UniformCost{PerIter: 800}}
+	res, err := RunLoop(cfg, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("LoopResult.Metrics nil with Config.Metrics set")
+	}
+	m := res.Metrics
+	var iters int64
+	for _, n := range res.Iters {
+		iters += n
+	}
+	if m.Iters != iters || iters != spec.NI {
+		t.Errorf("metrics count %d iters, result %d, spec %d", m.Iters, iters, spec.NI)
+	}
+	if m.Chunks <= 0 || m.BusyNs <= 0 || m.SchedNs <= 0 {
+		t.Errorf("degenerate counters: %+v", m.Counters)
+	}
+	if got := m.StealsHome + m.StealsSamePkg + m.StealsCross; got != m.Chunks {
+		t.Errorf("tier buckets sum to %d, want %d (they partition the grants)", got, m.Chunks)
+	}
+	var wantIdle int64
+	for _, f := range res.Finish {
+		var maxFinish int64
+		for _, g := range res.Finish {
+			if g > maxFinish {
+				maxFinish = g
+			}
+		}
+		wantIdle += maxFinish - f
+	}
+	if m.IdleNs != wantIdle {
+		t.Errorf("IdleNs = %d, want %d (sum of barrier waits)", m.IdleNs, wantIdle)
+	}
+	var occ int64
+	for _, o := range m.OccupancyNs {
+		occ += o
+	}
+	if occ != m.BusyNs {
+		t.Errorf("occupancy sums to %d, busy total is %d", occ, m.BusyNs)
+	}
+
+	res2, err := RunLoop(cfg, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Metrics, res2.Metrics) {
+		t.Errorf("snapshots differ across identical runs:\n%+v\n%+v", res.Metrics, res2.Metrics)
+	}
+}
+
+// TestRunLoopsMetrics checks the per-loop counters under multi-loop
+// execution: every loop gets its own snapshot covering exactly its own
+// iterations, and IdleNs stays zero (a retired worker's waits belong to no
+// single loop).
+func TestRunLoopsMetrics(t *testing.T) {
+	cfg := Config{Platform: amp.PlatformA(), NThreads: 8, Binding: amp.BindBS,
+		Factory: aidDynamicFactory, Metrics: true}
+	specs := []LoopSpec{
+		{Name: "a", NI: 6000, Cost: UniformCost{PerIter: 600}},
+		{Name: "b", NI: 9000, Cost: UniformCost{PerIter: 900}, Weight: 2},
+	}
+	results, err := RunLoops(cfg, specs, fair.NewWeightedRoundRobin(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, res := range results {
+		if res.Metrics == nil {
+			t.Fatalf("loop %d: Metrics nil", li)
+		}
+		if res.Metrics.Iters != specs[li].NI {
+			t.Errorf("loop %d: metrics count %d iters, want %d", li, res.Metrics.Iters, specs[li].NI)
+		}
+		if res.Metrics.IdleNs != 0 {
+			t.Errorf("loop %d: IdleNs = %d, want 0 under multi-loop execution", li, res.Metrics.IdleNs)
+		}
+		if res.Metrics.BusyNs <= 0 {
+			t.Errorf("loop %d: BusyNs = %d, want > 0", li, res.Metrics.BusyNs)
+		}
+	}
+}
+
+// TestRunLoopMetricsOff checks that metrics stay off (and results stay
+// identical) when the flag is clear.
+func TestRunLoopMetricsOff(t *testing.T) {
+	cfg := Config{Platform: amp.PlatformA(), NThreads: 4, Binding: amp.BindBS,
+		Factory: aidDynamicFactory}
+	spec := LoopSpec{Name: "m", NI: 4000, Cost: UniformCost{PerIter: 500}}
+	off, err := RunLoop(cfg, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Metrics != nil {
+		t.Error("Metrics populated without Config.Metrics")
+	}
+	cfg.Metrics = true
+	on, err := RunLoop(cfg, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.End != on.End || off.SchedNs != on.SchedNs || off.PoolAccesses != on.PoolAccesses {
+		t.Errorf("counting perturbed the simulation: off %+v, on %+v", off, on)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fair"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -76,6 +77,16 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 		coreOf[tid] = pl.CoreOf(tid, nt, cfg.Binding)
 		typeOf[tid] = pl.ClusterOf(coreOf[tid])
 		activeInCluster[typeOf[tid]]++
+	}
+
+	// Per-loop counter cells (see LoopResult.Metrics for the multi-loop
+	// idle-time caveat). Each loop counts only its own grants.
+	var mets []*obs.Metrics
+	if cfg.Metrics {
+		mets = make([]*obs.Metrics, nl)
+		for li := range mets {
+			mets[li] = obs.New(nt, len(pl.Clusters), func(tid int) int { return typeOf[tid] })
+		}
 	}
 
 	// liveSF[li] is loop li's most recently published SF table (nil until the
@@ -267,6 +278,11 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 					PoolAccesses: asg.PoolAccesses,
 					Timestamps: asg.Timestamps, Retire: true})
 			}
+			if mets != nil {
+				c := mets[li].Cell(tid)
+				c.Sched(int64(ovhNs))
+				c.Credit(asg.CreditClaimed, asg.CreditReturned)
+			}
 			res.SchedNs += int64(ovhNs)
 			res.Finish[tid] = end
 			clock[tid] = end
@@ -301,6 +317,15 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 				if rp, isRet := policy.(fair.Retirer); isRet {
 					rp.Retire(uint64(li)) // drop cursors naming the finished loop
 				}
+				if mets != nil {
+					// Quiescent merge: no worker will touch this loop's cells
+					// again (all nt retirements observed).
+					if rc, isRC := scheds[li].(core.ReweightCounter); isRC {
+						mets[li].Cell(0).SetReweights(rc.PoolReweights())
+					}
+					snap := mets[li].Snapshot()
+					res.Metrics = &snap
+				}
 			}
 			continue
 		}
@@ -320,6 +345,13 @@ func RunLoops(cfg Config, specs []LoopSpec, policy fair.Policy, startNs int64) (
 				Lo: asg.Lo, Hi: asg.Hi, Shard: pl.ClusterOf(coreOf[tid]), Origin: asg.Origin,
 				Cost: units, ExecNs: int64(execNs), PoolAccesses: asg.PoolAccesses,
 				Timestamps: asg.Timestamps})
+		}
+		if mets != nil {
+			c := mets[li].Cell(tid)
+			c.Grant(asg.N(), obs.Tier(dist, typeOf[tid], asg.Origin))
+			c.Credit(asg.CreditClaimed, asg.CreditReturned)
+			c.Sched(int64(ovhNs))
+			c.Busy(int64(execNs))
 		}
 		res.SchedNs += int64(ovhNs)
 		res.Iters[tid] += asg.N()

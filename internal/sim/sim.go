@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/amp"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -155,6 +156,13 @@ type Config struct {
 	// for internal/replay. A Recorder serves exactly one RunLoop or
 	// RunLoops call.
 	Recorder *trace.Recorder
+	// Metrics populates LoopResult.Metrics with the runtime-counter
+	// snapshot (internal/obs) of each loop: chunks and steals by provenance
+	// tier, credit traffic, and the virtual-time busy/sched/idle split. The
+	// counters observe the same quantities the real-goroutine registry
+	// counts, so cross-engine comparisons read the same schema. Counting
+	// never perturbs the virtual clock.
+	Metrics bool
 }
 
 // Migration is one OS-driven thread-to-core move.
@@ -223,6 +231,12 @@ type LoopResult struct {
 	EnergyJ float64
 	// ClusterEnergyJ breaks EnergyJ down by platform cluster.
 	ClusterEnergyJ []float64
+	// Metrics is the loop's runtime-counter snapshot, populated when
+	// Config.Metrics is set. Under single-loop execution (RunLoop) IdleNs
+	// is each worker's barrier wait; the multi-loop engine leaves IdleNs
+	// zero, because a worker retired from one loop moves on to others and
+	// its waits are not attributable to any single loop.
+	Metrics *obs.Snapshot
 }
 
 // SFPoint is one timestamped speedup-factor-table publication.
@@ -354,6 +368,14 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 		speed[tid] = pl.Speed(coreOf[tid], spec.Profile, activeInCluster[typeOf[tid]])
 	}
 
+	// Counter cells, keyed by each worker's home cluster at fork time (a
+	// later migration moves the worker, not its occupancy bucket — same
+	// convention as the registry's binding-derived home types).
+	var met *obs.Metrics
+	if cfg.Metrics {
+		met = obs.New(cfg.NThreads, len(pl.Clusters), func(tid int) int { return typeOf[tid] })
+	}
+
 	// Fork: every thread pays the fork half of the fork/join cost.
 	forkNs := int64(ov.ForkJoinNs / 2)
 	clock := make([]int64, cfg.NThreads)
@@ -366,6 +388,9 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 		res.SchedNs += forkNs
 		if cfg.Trace != nil {
 			cfg.Trace.Add(tid, startNs, clock[tid], trace.Sched)
+		}
+		if met != nil {
+			met.Cell(tid).Sched(forkNs)
 		}
 	}
 
@@ -435,6 +460,11 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 					PoolAccesses: asg.PoolAccesses,
 					Timestamps: asg.Timestamps, Retire: true})
 			}
+			if met != nil {
+				c := met.Cell(tid)
+				c.Sched(int64(ovhNs))
+				c.Credit(asg.CreditClaimed, asg.CreditReturned)
+			}
 			res.SchedNs += int64(ovhNs)
 			res.Finish[tid] = end
 			active[tid] = false
@@ -464,6 +494,13 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 				Cost: units, ExecNs: int64(execNs), PoolAccesses: asg.PoolAccesses,
 				Timestamps: asg.Timestamps})
 		}
+		if met != nil {
+			c := met.Cell(tid)
+			c.Grant(asg.N(), obs.Tier(dist, typeOf[tid], asg.Origin))
+			c.Credit(asg.CreditClaimed, asg.CreditReturned)
+			c.Sched(int64(ovhNs))
+			c.Busy(int64(execNs))
+		}
 		res.SchedNs += int64(ovhNs)
 		res.Iters[tid] += asg.N()
 		clock[tid] = runEnd
@@ -492,6 +529,22 @@ func RunLoop(cfg Config, spec LoopSpec, startNs int64) (LoopResult, error) {
 		}
 	}
 	res.SchedNs += joinNs
+	if met != nil {
+		// Quiescent merge (obs doc.go, invariant 5): the event loop is done,
+		// so writing barrier-wait idle into every worker's cell is safe.
+		for tid := 0; tid < cfg.NThreads; tid++ {
+			c := met.Cell(tid)
+			if gap := maxFinish - res.Finish[tid]; gap > 0 {
+				c.Idle(gap)
+			}
+			c.Sched(joinNs)
+		}
+		if rc, isRC := sched.(core.ReweightCounter); isRC {
+			met.Cell(0).SetReweights(rc.PoolReweights())
+		}
+		snap := met.Snapshot()
+		res.Metrics = &snap
+	}
 	// Energy: each worker's core draws ActiveW until the worker reaches the
 	// barrier and IdleW while it waits for release.
 	res.ClusterEnergyJ = make([]float64, len(pl.Clusters))

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestHistogramIndexBounds(t *testing.T) {
+	// Every probe value must land in a bucket whose bounds contain it.
+	probes := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20,
+		1<<40 + 12345, math.MaxInt64}
+	for _, v := range probes {
+		i := histIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, i)
+		}
+		lo, hi := histBounds(i)
+		if v < lo || (v >= hi && !(hi == math.MaxInt64 && v == hi)) {
+			t.Errorf("value %d landed in bucket %d = [%d,%d)", v, i, lo, hi)
+		}
+		// The error-bound contract: bucket width <= lo >> histSubBits for
+		// buckets past the exact region.
+		if lo >= histSub && hi-lo > lo>>histSubBits {
+			t.Errorf("bucket %d = [%d,%d) wider than lo/2^%d", i, lo, hi, histSubBits)
+		}
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	h := NewHistogram()
+	if _, err := h.Percentile(50); err == nil {
+		t.Fatal("empty histogram must refuse percentiles")
+	}
+	for _, v := range []float64{5, 3, 12, 3, 100} {
+		h.Add(v)
+	}
+	if h.Count() != 5 || h.Sum() != 123 {
+		t.Fatalf("count/sum = %d/%v, want 5/123", h.Count(), h.Sum())
+	}
+	if mn, _ := h.Min(); mn != 3 {
+		t.Fatalf("min = %v, want 3", mn)
+	}
+	if mx, _ := h.Max(); mx != 100 {
+		t.Fatalf("max = %v, want 100", mx)
+	}
+	if _, err := h.Percentile(-1); err == nil {
+		t.Fatal("percentile -1 must be rejected")
+	}
+}
+
+// TestHistogramVsReservoir is the cross-check gate: identical samples
+// through a Reservoir (with capacity >= n, so its percentiles are exact
+// order statistics) and the histogram must agree at p50/p95/p99 within the
+// bucket relative-error bound.
+func TestHistogramVsReservoir(t *testing.T) {
+	const n = 20000
+	rng := xrand.New(42)
+	h := NewHistogram()
+	r := NewReservoir(n, 7)
+	for i := 0; i < n; i++ {
+		// Latency-shaped stream: roughly log-uniform over [1e3, 1e8] ns
+		// with a heavy tail, exercising many octaves.
+		u := float64(rng.Uint64()%1_000_000) / 1_000_000
+		v := math.Pow(10, 3+5*u)
+		if rng.Uint64()%97 == 0 {
+			v *= 8 // tail spikes
+		}
+		h.Add(v)
+		r.Add(v)
+	}
+	bound := h.RelError()
+	for _, p := range []float64{50, 95, 99} {
+		hp, err := h.Percentile(p)
+		if err != nil {
+			t.Fatalf("hist p%v: %v", p, err)
+		}
+		rp, err := r.Percentile(p)
+		if err != nil {
+			t.Fatalf("reservoir p%v: %v", p, err)
+		}
+		// The reservoir interpolates between adjacent order statistics and
+		// the histogram between bucket edges; allow two bucket widths.
+		if diff := math.Abs(hp - rp); diff > 2*bound*rp+1 {
+			t.Errorf("p%v disagree: hist %.0f vs exact %.0f (diff %.0f > %.0f)",
+				p, hp, rp, diff, 2*bound*rp+1)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := xrand.New(9)
+	for i := 0; i < 5000; i++ {
+		v := float64(rng.Uint64() % 1_000_000)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		all.Add(v)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(NewHistogram())
+	if a.Count() != all.Count() || a.Sum() != all.Sum() {
+		t.Fatalf("merged count/sum %d/%v, want %d/%v", a.Count(), a.Sum(), all.Count(), all.Sum())
+	}
+	amn, _ := a.Min()
+	mn, _ := all.Min()
+	amx, _ := a.Max()
+	mx, _ := all.Max()
+	if amn != mn || amx != mx {
+		t.Fatalf("merged min/max %v/%v, want %v/%v", amn, amx, mn, mx)
+	}
+	for _, p := range []float64{50, 99} {
+		ap, _ := a.Percentile(p)
+		fp, _ := all.Percentile(p)
+		if ap != fp {
+			t.Errorf("p%v after merge %v, direct %v", p, ap, fp)
+		}
+	}
+}
